@@ -1,0 +1,118 @@
+// Command gpusim runs one GPGPU application on the cycle-level timing
+// simulator and prints per-kernel statistics.
+//
+// Usage:
+//
+//	gpusim -app P-BICG [-scheme none|detection|correction] [-level N] [-scheduler gto|lrr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/timing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	appName := flag.String("app", "P-BICG", "application (see cmd/profiler -list)")
+	schemeName := flag.String("scheme", "none", "protection scheme: none, detection, correction")
+	level := flag.Int("level", -1, "protected data objects, cumulative (-1 = hot objects)")
+	scheduler := flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
+	flag.Parse()
+
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	if err != nil {
+		return err
+	}
+	app, err := suite.App(*appName)
+	if err != nil {
+		return err
+	}
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "none":
+		scheme = core.None
+	case "detection":
+		scheme = core.Detection
+	case "correction":
+		scheme = core.Correction
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	lvl := *level
+	if lvl < 0 {
+		lvl = app.HotCount
+	}
+
+	_, plan, err := suite.PlanFor(*appName, scheme, lvl)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Tracing %s (functional run)…\n", app.Name)
+	traces, err := app.TraceRun(nil)
+	if err != nil {
+		return err
+	}
+
+	var tplan timing.ProtectionPlan
+	if plan != nil {
+		tplan = plan
+		fmt.Println("Protection:", plan.Describe())
+	} else {
+		fmt.Println("Protection: baseline (no protection)")
+	}
+
+	eng, err := timing.New(arch.Default(), tplan)
+	if err != nil {
+		return err
+	}
+	if *scheduler == "lrr" {
+		eng.Policy = timing.LRR
+	}
+
+	st, err := eng.RunApp(app.Name, traces)
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	for _, k := range st.Kernels {
+		rows = append(rows, []string{
+			k.Kernel,
+			fmt.Sprintf("%d", k.Cycles),
+			fmt.Sprintf("%d", k.Instructions),
+			fmt.Sprintf("%d", k.L1.Reads),
+			fmt.Sprintf("%d", k.L1.ReadMisses),
+			fmt.Sprintf("%.1f%%", 100*k.L1.ReadHitRate()),
+			fmt.Sprintf("%.1f%%", 100*k.L2.ReadHitRate()),
+			fmt.Sprintf("%d", k.DRAM.Served),
+			fmt.Sprintf("%d", k.CopyTransactions),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"kernel", "cycles", "instrs", "L1 reads", "L1 misses", "L1 hit", "L2 hit", "DRAM", "copy tx"},
+		rows,
+	))
+	fmt.Printf("\nTotal: %d cycles, %d L1-missed accesses, IPC %.2f\n",
+		st.TotalCycles(), st.TotalL1Misses(),
+		float64(st.TotalInstructions())/float64(st.TotalCycles()))
+	if plan != nil {
+		c := plan.Cost()
+		fmt.Printf("Hardware cost: %d B tables, %d-bit comparator, %d B replica DRAM\n",
+			c.AddrTableBytes+c.LoadTableBytes+c.CompareBufferBytes, c.ComparatorBits, c.ReplicaBytes)
+	}
+	return nil
+}

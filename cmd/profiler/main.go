@@ -1,0 +1,125 @@
+// Command profiler reproduces the paper's access-pattern analysis: the
+// Fig. 3 per-block read profiles, the Fig. 4 warp-sharing series, and the
+// Table III data-object inventory.
+//
+// Usage:
+//
+//	profiler            # Fig. 3 summary for all ten applications
+//	profiler -warps     # Fig. 4 series
+//	profiler -objects   # Table III
+//	profiler -series P-BICG  # raw normalized series for one app
+//	profiler -list      # application names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profiler:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	warps := flag.Bool("warps", false, "print the Fig. 4 warp-sharing series")
+	objects := flag.Bool("objects", false, "print the Table III data-object inventory")
+	series := flag.String("series", "", "print one application's normalized read series")
+	list := flag.Bool("list", false, "list application names")
+	points := flag.Int("points", 40, "series points")
+	flag.Parse()
+
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	if err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range suite.AllNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	switch {
+	case *warps:
+		results, err := experiments.Fig4WarpSharing(suite, *points)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 4 — % of active warps sharing each block (blocks sorted by reads, ascending)")
+		for _, r := range results {
+			fmt.Printf("\n%s:\n", r.App)
+			printSeries(r.Series, "%5.1f")
+		}
+	case *objects:
+		rows, err := experiments.Table3DataObjects(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table III — input data objects (measured ranking; * = hot)")
+		var cells [][]string
+		for _, r := range rows {
+			names := ""
+			for i, o := range r.Objects {
+				if i > 0 {
+					names += ", "
+				}
+				if o.Hot {
+					names += "*"
+				}
+				names += o.Name
+			}
+			cells = append(cells, []string{
+				r.App, names,
+				fmt.Sprintf("%.3f%%", r.HotSizePercent),
+				fmt.Sprintf("%.2f%%", r.HotAccessPercent),
+			})
+		}
+		fmt.Print(experiments.RenderTable(
+			[]string{"application", "objects (by accesses)", "hot size", "hot accesses"}, cells))
+	case *series != "":
+		p, err := suite.Profile(*series)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig. 3 — %s normalized reads per block (sorted ascending)\n", *series)
+		printSeries(p.NormalizedReadSeries(*points), "%6.4f")
+	default:
+		results, err := experiments.Fig3AccessProfiles(suite, *points)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 3 — access-profile summary (sparkline: per-block reads, sorted ascending)")
+		var cells [][]string
+		for _, r := range results {
+			shape := "hot knee"
+			if !r.HotPattern {
+				shape = "flat/staircase"
+			}
+			cells = append(cells, []string{
+				r.App,
+				fmt.Sprintf("%.0f×", r.MaxMinRatio),
+				shape,
+				experiments.Sparkline(r.Series),
+			})
+		}
+		fmt.Print(experiments.RenderTable([]string{"application", "max/min reads", "profile", "shape"}, cells))
+	}
+	return nil
+}
+
+func printSeries(s []float64, format string) {
+	for i, v := range s {
+		if i > 0 && i%10 == 0 {
+			fmt.Println()
+		}
+		fmt.Printf(format+" ", v)
+	}
+	fmt.Println()
+}

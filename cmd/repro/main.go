@@ -1,0 +1,314 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation in one invocation, printing paper-vs-measured rows. The run
+// count for the fault-injection figures is configurable; the paper uses
+// 1000 runs per configuration (95% CI ±3%).
+//
+// Usage:
+//
+//	repro [-runs 200] [-fig 3|4|6|7|9] [-table 1|2|3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runs := flag.Int("runs", 200, "fault-injection runs per configuration (paper: 1000)")
+	fig := flag.Int("fig", 0, "regenerate a single figure (2,3,4,6,7,9)")
+	table := flag.Int("table", 0, "regenerate a single table (1,2,3)")
+	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
+	flag.Parse()
+	exportDir = *csvDir
+
+	cfg := experiments.SuiteConfig{}
+	switch *scale {
+	case "small":
+		cfg.Scale = experiments.ScaleSmall
+	case "medium":
+		cfg.Scale = experiments.ScaleMedium
+	case "large":
+		cfg.Scale = experiments.ScaleLarge
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+
+	all := *fig == 0 && *table == 0
+	if all || *table == 1 {
+		printTable1()
+	}
+	if all || *table == 2 {
+		if err := printTable2(suite); err != nil {
+			return err
+		}
+	}
+	if all || *fig == 2 {
+		printFig2()
+	}
+	if all || *fig == 3 {
+		if err := printFig3(suite); err != nil {
+			return err
+		}
+	}
+	if all || *fig == 4 {
+		if err := printFig4(suite); err != nil {
+			return err
+		}
+	}
+	if all || *table == 3 {
+		if err := printTable3(suite); err != nil {
+			return err
+		}
+	}
+	if all || *fig == 6 {
+		if err := printFig6(suite, *runs); err != nil {
+			return err
+		}
+	}
+	if all || *fig == 7 {
+		if err := printFig7(suite); err != nil {
+			return err
+		}
+	}
+	if all || *fig == 9 {
+		if err := printFig9(suite, *runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportDir receives CSV exports when the -csv flag is set.
+var exportDir string
+
+func section(title string) {
+	fmt.Printf("\n================ %s ================\n\n", title)
+}
+
+func printTable1() {
+	section("Table I — simulated GPU configuration")
+	var rows [][]string
+	for _, r := range experiments.Table1Config(arch.Default()) {
+		rows = append(rows, []string{r.Parameter, r.Value})
+	}
+	fmt.Print(experiments.RenderTable([]string{"parameter", "value"}, rows))
+}
+
+func printTable2(suite *experiments.Suite) error {
+	section("Table II — output error metrics")
+	t2, err := experiments.Table2ErrorMetrics(suite)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range t2 {
+		rows = append(rows, []string{r.App, r.OutputFormat, r.Metric.String(), fmt.Sprintf("%g", r.Threshold)})
+	}
+	fmt.Print(experiments.RenderTable([]string{"application", "output", "metric", "SDC threshold"}, rows))
+	return nil
+}
+
+func printFig2() {
+	section("Fig. 2 — L2 cache size trend")
+	if exportDir != "" {
+		if err := experiments.ExportFig2CSV(exportDir); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: csv:", err)
+		}
+	}
+	var rows [][]string
+	for _, r := range experiments.Fig2L2Trend() {
+		rows = append(rows, []string{r.Vendor, r.GPU, fmt.Sprintf("%d", r.Year), fmt.Sprintf("%d", r.L2KB)})
+	}
+	fmt.Print(experiments.RenderTable([]string{"vendor", "GPU", "year", "L2 (KB)"}, rows))
+}
+
+func printFig3(suite *experiments.Suite) error {
+	section("Fig. 3 — per-block access profiles")
+	results, err := experiments.Fig3AccessProfiles(suite, 40)
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportFig3CSV(exportDir, results); err != nil {
+			return err
+		}
+	}
+	var rows [][]string
+	for _, r := range results {
+		shape := "hot knee (a)-(f)"
+		if !r.HotPattern {
+			shape = "no knee (g)-(h)"
+		}
+		rows = append(rows, []string{r.App, fmt.Sprintf("%.0f×", r.MaxMinRatio), shape})
+	}
+	fmt.Print(experiments.RenderTable([]string{"application", "max/min block reads", "profile shape"}, rows))
+	return nil
+}
+
+func printFig4(suite *experiments.Suite) error {
+	section("Fig. 4 — warp sharing of data memory blocks")
+	results, err := experiments.Fig4WarpSharing(suite, 40)
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportFig4CSV(exportDir, results); err != nil {
+			return err
+		}
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.App,
+			fmt.Sprintf("%.1f%%", r.Series[0]),
+			fmt.Sprintf("%.1f%%", r.Series[len(r.Series)-1]),
+		})
+	}
+	fmt.Print(experiments.RenderTable([]string{"application", "coldest-block share", "hottest-block share"}, rows))
+	return nil
+}
+
+func printTable3(suite *experiments.Suite) error {
+	section("Table III — data-object inventory")
+	rows, err := experiments.Table3DataObjects(suite)
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportTable3CSV(exportDir, rows); err != nil {
+			return err
+		}
+	}
+	var cells [][]string
+	for _, r := range rows {
+		names := ""
+		for i, o := range r.Objects {
+			if i > 0 {
+				names += ", "
+			}
+			if o.Hot {
+				names += "*"
+			}
+			names += o.Name
+		}
+		cells = append(cells, []string{
+			r.App, names,
+			fmt.Sprintf("%.3f%%", r.HotSizePercent),
+			fmt.Sprintf("%.2f%%", r.HotAccessPercent),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"application", "objects by accesses (* = hot)", "hot size", "hot accesses"}, cells))
+	return nil
+}
+
+func printFig6(suite *experiments.Suite, runs int) error {
+	section(fmt.Sprintf("Fig. 6 — hot vs rest vulnerability (%d runs/config)", runs))
+	cells, err := experiments.Fig6HotVsRest(suite, experiments.Fig6Config{Runs: runs})
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportFig6CSV(exportDir, cells); err != nil {
+			return err
+		}
+	}
+	var rows [][]string
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.App, c.Space, c.Model.String(),
+			fmt.Sprintf("%d/%d", c.Result.SDCRuns, c.Result.Runs),
+		})
+	}
+	fmt.Print(experiments.RenderTable([]string{"application", "space", "faults", "SDC"}, rows))
+	return nil
+}
+
+func printFig7(suite *experiments.Suite) error {
+	section("Fig. 7 — performance overhead of the resilience schemes")
+	points, err := experiments.Fig7Overhead(suite, experiments.Fig7Config{})
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportFig7CSV(exportDir, points); err != nil {
+			return err
+		}
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.App, p.Scheme.String(), fmt.Sprintf("%d", p.Level),
+			fmt.Sprintf("%.4f", p.NormTime), fmt.Sprintf("%.4f", p.NormMisses),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"application", "scheme", "objects", "norm time", "norm L1 misses"}, rows))
+	hot, allLv, err := experiments.LevelMaps(suite, suite.EvaluatedNames())
+	if err != nil {
+		return err
+	}
+	sum := experiments.SummarizeFig7(points, hot, allLv)
+	fmt.Printf("\npaper vs measured averages:\n")
+	fmt.Printf("  detection  hot-only: paper +1.2%%   measured %+.2f%%\n", 100*sum.DetectionHotOverhead)
+	fmt.Printf("  correction hot-only: paper +3.4%%   measured %+.2f%%\n", 100*sum.CorrectionHotOverhead)
+	fmt.Printf("  detection  all:      paper +40.65%% measured %+.2f%%\n", 100*sum.DetectionAllOverhead)
+	fmt.Printf("  correction all:      paper +74.24%% measured %+.2f%%\n", 100*sum.CorrectionAllOverhead)
+	return nil
+}
+
+func printFig9(suite *experiments.Suite, runs int) error {
+	section(fmt.Sprintf("Fig. 9 — SDC vs protection level (%d runs/config)", runs))
+	cells, err := experiments.Fig9Resilience(suite, experiments.Fig9Config{Runs: runs})
+	if err != nil {
+		return err
+	}
+	if exportDir != "" {
+		if err := experiments.ExportFig9CSV(exportDir, cells); err != nil {
+			return err
+		}
+	}
+	var rows [][]string
+	for _, c := range cells {
+		scheme := c.Scheme.String()
+		if c.Scheme == core.None {
+			scheme = "baseline"
+		}
+		rows = append(rows, []string{
+			c.App, scheme, fmt.Sprintf("%d", c.Level), c.Model.String(),
+			fmt.Sprintf("%d/%d", c.Result.SDCRuns, c.Result.Runs),
+			fmt.Sprintf("%d", c.Result.DetectedRuns),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"application", "scheme", "objects", "faults", "SDC", "detected"}, rows))
+
+	hot := map[string]int{}
+	for _, name := range suite.EvaluatedNames() {
+		app, err := suite.App(name)
+		if err != nil {
+			return err
+		}
+		hot[name] = app.HotCount
+	}
+	fmt.Printf("\nSDC drop with hot-object protection: paper 98.97%%, measured %.2f%%\n",
+		experiments.SDCDropPercent(cells, hot))
+	return nil
+}

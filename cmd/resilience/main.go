@@ -1,0 +1,130 @@
+// Command resilience reproduces the paper's evaluation of the two
+// protection schemes: the Fig. 7 performance-overhead sweep (-perf) and the
+// Fig. 9 SDC-reduction campaigns (-sdc).
+//
+// Usage:
+//
+//	resilience -perf [-apps …]
+//	resilience -sdc [-runs 1000] [-apps …]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	perf := flag.Bool("perf", false, "run the Fig. 7 performance sweep")
+	sdc := flag.Bool("sdc", false, "run the Fig. 9 resilience campaigns")
+	runs := flag.Int("runs", 1000, "fault-injection runs per configuration (Fig. 9)")
+	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
+	seed := flag.Int64("seed", 11, "campaign seed")
+	flag.Parse()
+	if !*perf && !*sdc {
+		*perf, *sdc = true, true
+	}
+
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	if err != nil {
+		return err
+	}
+	var appList []string
+	if *apps != "" {
+		appList = strings.Split(*apps, ",")
+	} else {
+		appList = suite.EvaluatedNames()
+	}
+
+	if *perf {
+		if err := runPerf(suite, appList); err != nil {
+			return err
+		}
+	}
+	if *sdc {
+		if err := runSDC(suite, appList, *runs, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPerf(suite *experiments.Suite, apps []string) error {
+	fmt.Println("Fig. 7 — execution time and L1-missed accesses, normalized to baseline")
+	points, err := experiments.Fig7Overhead(suite, experiments.Fig7Config{Apps: apps})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.App, p.Scheme.String(), fmt.Sprintf("%d", p.Level),
+			fmt.Sprintf("%d", p.Cycles),
+			fmt.Sprintf("%.4f", p.NormTime),
+			fmt.Sprintf("%.4f", p.NormMisses),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"application", "scheme", "objects", "cycles", "norm time", "norm L1 misses"}, rows))
+
+	hot, all, err := experiments.LevelMaps(suite, apps)
+	if err != nil {
+		return err
+	}
+	sum := experiments.SummarizeFig7(points, hot, all)
+	fmt.Printf("\nAverages (paper: detection 1.2%%/40.65%%, correction 3.4%%/74.24%%):\n")
+	fmt.Printf("  detection  hot-only %+.2f%%   all objects %+.2f%%\n",
+		100*sum.DetectionHotOverhead, 100*sum.DetectionAllOverhead)
+	fmt.Printf("  correction hot-only %+.2f%%   all objects %+.2f%%\n\n",
+		100*sum.CorrectionHotOverhead, 100*sum.CorrectionAllOverhead)
+	return nil
+}
+
+func runSDC(suite *experiments.Suite, apps []string, runs int, seed int64) error {
+	fmt.Printf("Fig. 9 — SDC outcomes out of %d runs, whole-space L1-miss-weighted injection\n\n", runs)
+	cells, err := experiments.Fig9Resilience(suite, experiments.Fig9Config{
+		Runs: runs, Seed: seed, Apps: apps,
+	})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, c := range cells {
+		scheme := c.Scheme.String()
+		if c.Scheme == core.None {
+			scheme = "baseline"
+		}
+		rows = append(rows, []string{
+			c.App, scheme, fmt.Sprintf("%d", c.Level), c.Model.String(),
+			fmt.Sprintf("%d", c.Result.SDCRuns),
+			fmt.Sprintf("%d", c.Result.DetectedRuns),
+			fmt.Sprintf("%d", c.Result.MaskedRuns),
+			fmt.Sprintf("%d", c.Result.CrashedRuns),
+		})
+	}
+	fmt.Print(experiments.RenderTable(
+		[]string{"application", "scheme", "objects", "faults", "SDC", "detected", "masked", "crashed"}, rows))
+
+	hot := make(map[string]int, len(apps))
+	for _, name := range apps {
+		app, err := suite.App(name)
+		if err != nil {
+			return err
+		}
+		hot[name] = app.HotCount
+	}
+	fmt.Printf("\nAverage SDC drop with hot-object protection: %.2f%% (paper: 98.97%%)\n",
+		experiments.SDCDropPercent(cells, hot))
+	return nil
+}

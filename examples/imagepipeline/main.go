@@ -1,0 +1,59 @@
+// Image pipeline: the AxBench-style filters (Laplacian, Sobel, Meanfilter)
+// whose hot data objects are tiny — a 3×3 filter and the width/height
+// scalars, well under 0.01% of the application's memory — yet absorb most
+// of its read accesses (73% for the edge filters in the paper). A fault in
+// one of those few bytes warps the entire output image; protecting just
+// them restores output quality at negligible cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacentric-gpu/dcrm"
+)
+
+func main() {
+	log.SetFlags(0)
+	lib, err := dcrm.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runs = 150
+	faults := dcrm.FaultModel{Bits: 2, Blocks: 1}
+	fmt.Printf("per-filter campaigns: %d-bit fault in %d hot block, %d runs, NRMSE threshold 2%%\n\n",
+		faults.Bits, faults.Blocks, runs)
+
+	for _, name := range []string{"A-Laplacian", "A-Sobel", "A-Meanfilter"} {
+		w, err := lib.Workload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := w.Profile()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		base, err := w.Campaign(dcrm.CampaignConfig{
+			Faults: faults, Runs: runs, Target: dcrm.TargetHot,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cor, err := w.Campaign(dcrm.CampaignConfig{
+			Scheme: dcrm.Correction, Faults: faults, Runs: runs, Target: dcrm.TargetHot,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perf, err := w.Performance(dcrm.Correction, w.HotObjectCount())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s hot: %d objects, %.4f%% of memory, %.1f%% of accesses\n",
+			name, w.HotObjectCount(), report.HotSizePercent, report.HotAccessPercent)
+		fmt.Printf("              corrupted images: %d/%d unprotected → %d/%d with correction (%+.2f%% time)\n\n",
+			base.SDC, base.Runs, cor.SDC, cor.Runs, 100*(perf.NormalizedTime-1))
+	}
+}

@@ -1,0 +1,78 @@
+// Safety-critical scenario: the paper's motivating example. A convolutional
+// digit classifier (C-NN) runs inference while its network weights — the
+// hot data objects Layer1_Weights and Layer2_Weights — sit in fault-prone
+// GPU memory. Multi-bit faults there flip classifications silently, which
+// in an autonomous-vehicle perception stack means acting on a wrong answer.
+// Partial replication of just those weights (2.15% of the application's
+// memory in the paper) turns silent misclassifications into either detected
+// terminations or corrected, correct answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/datacentric-gpu/dcrm"
+)
+
+func main() {
+	log.SetFlags(0)
+	lib, err := dcrm.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := lib.Workload("C-NN")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := w.Profile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("C-NN data objects (a * marks the hot weights the paper replicates):")
+	for _, o := range report.Objects {
+		marker := " "
+		if o.Hot {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-16s %9d B %12d reads\n", marker, o.Name, o.SizeBytes, o.Reads)
+	}
+	fmt.Printf("hot weights: %.2f%% of application memory (paper: 2.15%%)\n\n", report.HotSizePercent)
+
+	// Inject multi-bit faults into the weight blocks and count runs where
+	// the classifier silently mislabels images.
+	const runs = 120
+	faults := dcrm.FaultModel{Bits: 4, Blocks: 5}
+	fmt.Printf("faults: %d-bit stuck-at in %d weight blocks, %d runs each\n\n",
+		faults.Bits, faults.Blocks, runs)
+
+	for _, scheme := range []dcrm.Scheme{dcrm.Baseline, dcrm.Detection, dcrm.Correction} {
+		res, err := w.Campaign(dcrm.CampaignConfig{
+			Scheme: scheme,
+			Faults: faults,
+			Runs:   runs,
+			Target: dcrm.TargetHot,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch scheme {
+		case dcrm.Baseline:
+			fmt.Printf("unprotected:   %3d/%d runs silently misclassified images\n", res.SDC, res.Runs)
+		case dcrm.Detection:
+			fmt.Printf("detection:     %3d/%d silent, %3d terminated safely (rerun instead of acting on a wrong label)\n",
+				res.SDC, res.Runs, res.Detected)
+		case dcrm.Correction:
+			fmt.Printf("correction:    %3d/%d silent, %3d repaired in place by majority vote\n",
+				res.SDC, res.Runs, res.Masked)
+		}
+	}
+
+	cor, err := w.Performance(dcrm.Correction, w.HotObjectCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncost of correction: %+.2f%% execution time, %d B of replica DRAM\n",
+		100*(cor.NormalizedTime-1), cor.ReplicaBytes)
+}

@@ -1,0 +1,3 @@
+module github.com/datacentric-gpu/dcrm
+
+go 1.22

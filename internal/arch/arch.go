@@ -1,0 +1,202 @@
+// Package arch defines the architectural constants and configuration shared
+// by every layer of the simulator: warp geometry, memory-block geometry,
+// addresses, and the Table I configuration of the simulated GPU.
+package arch
+
+import "fmt"
+
+const (
+	// WarpSize is the number of threads executed in lockstep per warp.
+	WarpSize = 32
+
+	// BlockBytes is the size of a data memory block (one cache line).
+	// Both L1 and L2 use 128 B lines, and the paper's profiling, fault
+	// injection, and replication all operate at this granularity.
+	BlockBytes = 128
+
+	// WordBytes is the fault-injection word granularity (a 32-bit word).
+	WordBytes = 4
+
+	// WordsPerBlock is the number of 32-bit words in a memory block.
+	WordsPerBlock = BlockBytes / WordBytes
+)
+
+// Addr is a device (global) memory byte address.
+type Addr uint64
+
+// BlockAddr is the index of a 128 B data memory block in device memory.
+type BlockAddr uint64
+
+// Block returns the data memory block containing the address.
+func (a Addr) Block() BlockAddr { return BlockAddr(a / BlockBytes) }
+
+// Base returns the byte address of the first byte of the block.
+func (b BlockAddr) Base() Addr { return Addr(b) * BlockBytes }
+
+// Dim3 is a CUDA-style three-dimensional extent or index.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Count returns the total number of elements spanned by the extent.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// String renders the extent in the conventional (x,y,z) form.
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// Flatten returns the linear index of idx within the extent, x-major as in
+// CUDA (x fastest).
+func (d Dim3) Flatten(idx Dim3) int {
+	x, y := d.X, d.Y
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	return idx.X + x*(idx.Y+y*idx.Z)
+}
+
+// Config holds the key configuration parameters of the simulated GPU,
+// mirroring Table I of the paper.
+type Config struct {
+	// CoreClockMHz is the SM core clock (Table I: 1400 MHz).
+	CoreClockMHz int
+	// NumSMs is the number of streaming multiprocessors (Table I: 15).
+	NumSMs int
+	// MaxCTAsPerSM bounds concurrent CTAs per SM.
+	MaxCTAsPerSM int
+	// MaxWarpsPerSM bounds concurrent warps per SM (48 on Fermi-class parts).
+	MaxWarpsPerSM int
+	// SharedMemPerSM is the shared memory per SM in bytes (Table I: 32 KB).
+	SharedMemPerSM int
+	// RegistersPerSM is the register file size per SM in bytes (Table I: 32 KB).
+	RegistersPerSM int
+
+	// L1 holds the per-SM L1 data cache geometry
+	// (Table I: 16 KB, 4-way, 128 B lines).
+	L1 CacheGeometry
+	// L2 holds the per-channel L2 bank geometry
+	// (Table I: 256 KB, 16-way, 128 B lines; 6 channels → 1536 KB total).
+	L2 CacheGeometry
+
+	// NumMemChannels is the number of GDDR5 memory controllers (Table I: 6).
+	NumMemChannels int
+	// DRAMBanksPerChannel is the number of DRAM banks behind each
+	// controller (Table I: 16).
+	DRAMBanksPerChannel int
+	// MemClockMHz is the DRAM command clock (Table I: 924 MHz).
+	MemClockMHz int
+	// InterconnectClockMHz is the NoC clock (Table I: 1400 MHz).
+	InterconnectClockMHz int
+
+	// InterconnectLatency is the one-way NoC traversal latency in core
+	// cycles.
+	InterconnectLatency int
+	// L1HitLatency, L2HitLatency are access latencies in core cycles.
+	L1HitLatency int
+	L2HitLatency int
+	// L1MSHRs bounds outstanding L1 misses per SM.
+	L1MSHRs int
+	// DRAM timing in memory-clock cycles.
+	DRAMTiming DRAMTiming
+}
+
+// CacheGeometry describes one set-associative cache.
+type CacheGeometry struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g CacheGeometry) Sets() int { return g.SizeBytes / (g.Ways * g.LineBytes) }
+
+// Validate reports whether the geometry is internally consistent.
+func (g CacheGeometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("cache geometry %+v: all fields must be positive", g)
+	}
+	if g.SizeBytes%(g.Ways*g.LineBytes) != 0 {
+		return fmt.Errorf("cache geometry %+v: size not divisible by way*line", g)
+	}
+	s := g.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache geometry %+v: %d sets is not a power of two", g, s)
+	}
+	return nil
+}
+
+// DRAMTiming holds the GDDR5 timing parameters used by the FR-FCFS
+// controller, in memory-clock cycles.
+type DRAMTiming struct {
+	TRCD   int // activate → column command
+	TRP    int // precharge
+	TCL    int // column access (CAS) latency
+	TBurst int // data burst occupancy of the bus per 128 B transfer
+}
+
+// Default returns the Table I configuration.
+func Default() Config {
+	return Config{
+		CoreClockMHz:         1400,
+		NumSMs:               15,
+		MaxCTAsPerSM:         8,
+		MaxWarpsPerSM:        48,
+		SharedMemPerSM:       32 * 1024,
+		RegistersPerSM:       32 * 1024,
+		L1:                   CacheGeometry{SizeBytes: 16 * 1024, Ways: 4, LineBytes: BlockBytes},
+		L2:                   CacheGeometry{SizeBytes: 256 * 1024, Ways: 16, LineBytes: BlockBytes},
+		NumMemChannels:       6,
+		DRAMBanksPerChannel:  16,
+		MemClockMHz:          924,
+		InterconnectClockMHz: 1400,
+		InterconnectLatency:  8,
+		L1HitLatency:         2,
+		L2HitLatency:         12,
+		L1MSHRs:              32,
+		DRAMTiming:           DRAMTiming{TRCD: 12, TRP: 12, TCL: 12, TBurst: 4},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NumSMs <= 0 {
+		return fmt.Errorf("config: NumSMs must be positive, got %d", c.NumSMs)
+	}
+	if c.NumMemChannels <= 0 {
+		return fmt.Errorf("config: NumMemChannels must be positive, got %d", c.NumMemChannels)
+	}
+	if c.MaxWarpsPerSM <= 0 {
+		return fmt.Errorf("config: MaxWarpsPerSM must be positive, got %d", c.MaxWarpsPerSM)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("config L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("config L2: %w", err)
+	}
+	if c.L1.LineBytes != BlockBytes || c.L2.LineBytes != BlockBytes {
+		return fmt.Errorf("config: cache lines must equal the %d B block size", BlockBytes)
+	}
+	return nil
+}
+
+// TotalL2Bytes returns the aggregate L2 capacity across channels.
+func (c Config) TotalL2Bytes() int { return c.L2.SizeBytes * c.NumMemChannels }
+
+// ChannelOf maps a block address to its L2 bank / memory channel. Consecutive
+// blocks are interleaved across channels, the usual GPU address mapping.
+func (c Config) ChannelOf(b BlockAddr) int { return int(uint64(b) % uint64(c.NumMemChannels)) }

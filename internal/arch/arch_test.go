@@ -1,0 +1,142 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if got, want := c.CoreClockMHz, 1400; got != want {
+		t.Errorf("core clock = %d, want %d", got, want)
+	}
+	if got, want := c.NumSMs, 15; got != want {
+		t.Errorf("SMs = %d, want %d", got, want)
+	}
+	if got, want := c.L1.SizeBytes, 16*1024; got != want {
+		t.Errorf("L1 size = %d, want %d", got, want)
+	}
+	if got, want := c.L1.Ways, 4; got != want {
+		t.Errorf("L1 ways = %d, want %d", got, want)
+	}
+	if got, want := c.L2.SizeBytes, 256*1024; got != want {
+		t.Errorf("L2 bank size = %d, want %d", got, want)
+	}
+	if got, want := c.L2.Ways, 16; got != want {
+		t.Errorf("L2 ways = %d, want %d", got, want)
+	}
+	if got, want := c.TotalL2Bytes(), 1536*1024; got != want {
+		t.Errorf("total L2 = %d, want %d (Table I: 1536 KB)", got, want)
+	}
+	if got, want := c.NumMemChannels, 6; got != want {
+		t.Errorf("channels = %d, want %d", got, want)
+	}
+	if got, want := c.DRAMBanksPerChannel, 16; got != want {
+		t.Errorf("banks = %d, want %d", got, want)
+	}
+	if got, want := c.MemClockMHz, 924; got != want {
+		t.Errorf("mem clock = %d, want %d", got, want)
+	}
+}
+
+func TestCacheGeometrySets(t *testing.T) {
+	tests := []struct {
+		name string
+		g    CacheGeometry
+		want int
+	}{
+		{"l1", CacheGeometry{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 128}, 32},
+		{"l2bank", CacheGeometry{SizeBytes: 256 * 1024, Ways: 16, LineBytes: 128}, 128},
+		{"tiny", CacheGeometry{SizeBytes: 1024, Ways: 2, LineBytes: 128}, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err != nil {
+				t.Fatalf("Validate() = %v", err)
+			}
+			if got := tt.g.Sets(); got != tt.want {
+				t.Errorf("Sets() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCacheGeometryValidateRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		g    CacheGeometry
+	}{
+		{"zero size", CacheGeometry{SizeBytes: 0, Ways: 4, LineBytes: 128}},
+		{"negative ways", CacheGeometry{SizeBytes: 1024, Ways: -1, LineBytes: 128}},
+		{"non power of two sets", CacheGeometry{SizeBytes: 3 * 128 * 2, Ways: 2, LineBytes: 128}},
+		{"indivisible", CacheGeometry{SizeBytes: 1000, Ways: 4, LineBytes: 128}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err == nil {
+				t.Errorf("Validate(%+v) = nil, want error", tt.g)
+			}
+		})
+	}
+}
+
+func TestAddrBlockRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		b := addr.Block()
+		base := b.Base()
+		return uint64(base) <= a && a-uint64(base) < BlockBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDim3(t *testing.T) {
+	tests := []struct {
+		name  string
+		d     Dim3
+		count int
+	}{
+		{"linear", Dim3{X: 256}, 256},
+		{"plane", Dim3{X: 16, Y: 16}, 256},
+		{"volume", Dim3{X: 4, Y: 4, Z: 4}, 64},
+		{"zero dims default to one", Dim3{}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.d.Count(); got != tt.count {
+				t.Errorf("Count() = %d, want %d", got, tt.count)
+			}
+		})
+	}
+}
+
+func TestDim3Flatten(t *testing.T) {
+	d := Dim3{X: 13, Y: 13, Z: 6}
+	want := 0
+	for z := 0; z < 6; z++ {
+		for y := 0; y < 13; y++ {
+			for x := 0; x < 13; x++ {
+				if got := d.Flatten(Dim3{X: x, Y: y, Z: z}); got != want {
+					t.Fatalf("Flatten(%d,%d,%d) = %d, want %d", x, y, z, got, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	c := Default()
+	// Consecutive blocks must land on consecutive channels (round robin).
+	for i := 0; i < 100; i++ {
+		got := c.ChannelOf(BlockAddr(i))
+		if want := i % c.NumMemChannels; got != want {
+			t.Fatalf("ChannelOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+// MSHR is a miss status holding register table: it tracks blocks with an
+// outstanding fill and merges subsequent misses to the same block, so one
+// memory request serves every waiting consumer. The table has a fixed number
+// of entries; when full, new misses must stall — the structural hazard that
+// bounds memory-level parallelism per SM.
+type MSHR struct {
+	capacity int
+	pending  map[arch.BlockAddr][]uint64
+}
+
+// NewMSHR builds a table with the given entry budget.
+func NewMSHR(capacity int) (*MSHR, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: MSHR capacity must be positive, got %d", capacity)
+	}
+	return &MSHR{
+		capacity: capacity,
+		pending:  make(map[arch.BlockAddr][]uint64, capacity),
+	}, nil
+}
+
+// Outcome of an MSHR allocation attempt.
+type MSHROutcome int
+
+// Allocation outcomes.
+const (
+	// MSHRNew means a fresh entry was allocated: the caller must issue the
+	// memory request.
+	MSHRNew MSHROutcome = iota + 1
+	// MSHRMerged means an entry for the block already existed: the request
+	// was queued behind the in-flight fill and no new memory request is
+	// needed.
+	MSHRMerged
+	// MSHRFull means no entry was available: the requester must stall and
+	// retry.
+	MSHRFull
+)
+
+// String renders the outcome.
+func (o MSHROutcome) String() string {
+	switch o {
+	case MSHRNew:
+		return "new"
+	case MSHRMerged:
+		return "merged"
+	case MSHRFull:
+		return "full"
+	default:
+		return fmt.Sprintf("mshroutcome(%d)", int(o))
+	}
+}
+
+// Allocate registers requester id as waiting on block b.
+func (m *MSHR) Allocate(b arch.BlockAddr, id uint64) MSHROutcome {
+	if waiters, ok := m.pending[b]; ok {
+		m.pending[b] = append(waiters, id)
+		return MSHRMerged
+	}
+	if len(m.pending) >= m.capacity {
+		return MSHRFull
+	}
+	m.pending[b] = []uint64{id}
+	return MSHRNew
+}
+
+// Complete releases the entry for block b, returning every waiter in
+// allocation order. Completing an unknown block returns nil.
+func (m *MSHR) Complete(b arch.BlockAddr) []uint64 {
+	waiters, ok := m.pending[b]
+	if !ok {
+		return nil
+	}
+	delete(m.pending, b)
+	return waiters
+}
+
+// Pending reports whether block b has an outstanding fill.
+func (m *MSHR) Pending(b arch.BlockAddr) bool {
+	_, ok := m.pending[b]
+	return ok
+}
+
+// InUse returns the number of occupied entries.
+func (m *MSHR) InUse() int { return len(m.pending) }
+
+// Capacity returns the entry budget.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Reset drops every entry.
+func (m *MSHR) Reset() {
+	for k := range m.pending {
+		delete(m.pending, k)
+	}
+}

@@ -1,0 +1,254 @@
+// Package dram models one GDDR5 memory controller per L2 channel with
+// FR-FCFS (first-ready, first-come-first-served) scheduling: among queued
+// requests the controller prefers row-buffer hits, falling back to the
+// oldest request, with a bypass cap so row streaks cannot starve older
+// row-miss requests. Timing follows the Table I parameters (tRCD/tRP/tCL
+// and burst occupancy), converted to core-clock cycles so the whole
+// simulator advances on one clock.
+package dram
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+// rowBytes is the DRAM row-buffer size; 2 KB rows hold 16 blocks of 128 B.
+const rowBytes = 2048
+
+// maxRowHitBypass bounds how many younger row-hit requests may be served
+// ahead of the oldest queued request before fairness forces it through.
+const maxRowHitBypass = 16
+
+// Request is one 128 B memory transfer.
+type Request struct {
+	// Block is the target data memory block.
+	Block arch.BlockAddr
+	// ID is an opaque handle returned with the completion.
+	ID uint64
+	// Write distinguishes write-backs from fills.
+	Write bool
+}
+
+// Completion reports a finished request.
+type Completion struct {
+	// Req is the original request.
+	Req Request
+	// At is the core-clock cycle the data transfer finished.
+	At int64
+}
+
+type pending struct {
+	req     Request
+	arrival int64
+	seq     uint64
+}
+
+type bank struct {
+	openRow   int64 // -1 when closed
+	busyUntil int64
+}
+
+// Controller is one channel's memory controller. Not safe for concurrent
+// use.
+type Controller struct {
+	banks     []bank
+	queue     []pending
+	busFree   int64
+	seq       uint64
+	numCh     int
+	bypassRun int
+
+	// Timing in core cycles.
+	tRCD, tRP, tCL, tBurst int64
+
+	// Stats accumulate until reset.
+	Stats Stats
+}
+
+// Stats counts controller events.
+type Stats struct {
+	// Requests served, split by row-buffer outcome.
+	RowHits      uint64
+	RowMisses    uint64 // row conflict: precharge + activate
+	RowEmpty     uint64 // bank closed: activate only
+	TotalLatency uint64 // sum of (completion - arrival) in core cycles
+	Served       uint64
+}
+
+// AvgLatency returns mean request latency in core cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Served)
+}
+
+// RowHitRate returns the fraction of served requests that hit the row
+// buffer.
+func (s Stats) RowHitRate() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Served)
+}
+
+// NewController builds the controller for one channel of the configuration.
+func NewController(cfg arch.Config) (*Controller, error) {
+	if cfg.DRAMBanksPerChannel <= 0 {
+		return nil, fmt.Errorf("dram: banks per channel must be positive, got %d", cfg.DRAMBanksPerChannel)
+	}
+	if cfg.MemClockMHz <= 0 || cfg.CoreClockMHz <= 0 {
+		return nil, fmt.Errorf("dram: clocks must be positive (core %d, mem %d)", cfg.CoreClockMHz, cfg.MemClockMHz)
+	}
+	scale := func(memCycles int) int64 {
+		// Convert memory cycles to core cycles, rounding up.
+		return int64((memCycles*cfg.CoreClockMHz + cfg.MemClockMHz - 1) / cfg.MemClockMHz)
+	}
+	banks := make([]bank, cfg.DRAMBanksPerChannel)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &Controller{
+		banks:  banks,
+		numCh:  cfg.NumMemChannels,
+		tRCD:   scale(cfg.DRAMTiming.TRCD),
+		tRP:    scale(cfg.DRAMTiming.TRP),
+		tCL:    scale(cfg.DRAMTiming.TCL),
+		tBurst: scale(cfg.DRAMTiming.TBurst),
+	}, nil
+}
+
+// bankRow maps a block to (bank, row) within this channel. Consecutive
+// blocks on a channel stripe across banks; rows group blocksPerRow blocks.
+func (c *Controller) bankRow(b arch.BlockAddr) (int, int64) {
+	local := uint64(b) / uint64(c.numCh)
+	bk := int(local % uint64(len(c.banks)))
+	blocksPerRow := uint64(rowBytes / arch.BlockBytes)
+	row := int64(local / uint64(len(c.banks)) / blocksPerRow)
+	return bk, row
+}
+
+// Enqueue adds a request arriving at the given core cycle.
+func (c *Controller) Enqueue(r Request, now int64) {
+	c.queue = append(c.queue, pending{req: r, arrival: now, seq: c.seq})
+	c.seq++
+}
+
+// QueueLen returns the number of waiting requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Busy reports whether the controller still has queued work or in-flight
+// bus activity past the given cycle.
+func (c *Controller) Busy(now int64) bool {
+	return len(c.queue) > 0 || c.busFree > now
+}
+
+// Advance serves requests whose service can start at or before `now`,
+// returning their completions (possibly completing after now; the caller
+// delivers them when due). FR-FCFS: row-hit first, oldest otherwise.
+func (c *Controller) Advance(now int64) []Completion {
+	var done []Completion
+	for len(c.queue) > 0 {
+		comp, ok := c.scheduleOne(now)
+		if !ok {
+			break
+		}
+		done = append(done, comp)
+	}
+	return done
+}
+
+// scheduleOne picks and serves a single request if service can start by
+// `now`.
+func (c *Controller) scheduleOne(now int64) (Completion, bool) {
+	oldest := -1
+	bestHit := -1
+	var bestHitStart, oldestStart int64
+	var oldestSeq uint64
+
+	for i := range c.queue {
+		p := &c.queue[i]
+		if p.arrival > now {
+			continue
+		}
+		bk, row := c.bankRow(p.req.Block)
+		start := p.arrival
+		if c.banks[bk].busyUntil > start {
+			start = c.banks[bk].busyUntil
+		}
+		if start > now {
+			continue
+		}
+		if oldest == -1 || p.seq < oldestSeq {
+			oldest, oldestSeq, oldestStart = i, p.seq, start
+		}
+		if c.banks[bk].openRow == row && bestHit == -1 {
+			bestHit, bestHitStart = i, start
+		}
+	}
+	if oldest == -1 {
+		return Completion{}, false
+	}
+	pick := oldest
+	start := oldestStart
+	if bestHit != -1 && bestHit != oldest && c.bypassRun < maxRowHitBypass {
+		pick, start = bestHit, bestHitStart
+		c.bypassRun++
+	} else {
+		c.bypassRun = 0
+	}
+
+	p := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	bk, row := c.bankRow(p.req.Block)
+
+	var access int64
+	switch {
+	case c.banks[bk].openRow == row:
+		access = c.tCL
+		c.Stats.RowHits++
+	case c.banks[bk].openRow == -1:
+		access = c.tRCD + c.tCL
+		c.Stats.RowEmpty++
+	default:
+		access = c.tRP + c.tRCD + c.tCL
+		c.Stats.RowMisses++
+	}
+	// The bank access (activate/precharge/CAS) proceeds in parallel with
+	// other banks; only the data burst serializes on the channel bus.
+	burstStart := start + access
+	if c.busFree > burstStart {
+		burstStart = c.busFree
+	}
+	finish := burstStart + c.tBurst
+	c.banks[bk].openRow = row
+	c.banks[bk].busyUntil = finish
+	c.busFree = finish
+	c.Stats.Served++
+	c.Stats.TotalLatency += uint64(finish - p.arrival)
+	return Completion{Req: p.req, At: finish}, true
+}
+
+// NextStartTime returns the earliest cycle at which any queued request
+// could begin service (considering arrival and bank occupancy), or -1 when
+// the queue is empty. The timing engine uses it to schedule its next
+// scheduling attempt without polling every cycle.
+func (c *Controller) NextStartTime() int64 {
+	next := int64(-1)
+	for i := range c.queue {
+		p := &c.queue[i]
+		bk, _ := c.bankRow(p.req.Block)
+		start := p.arrival
+		if c.banks[bk].busyUntil > start {
+			start = c.banks[bk].busyUntil
+		}
+		if next == -1 || start < next {
+			next = start
+		}
+	}
+	return next
+}
+
+// ResetStats zeroes statistics.
+func (c *Controller) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The (72,64) SECDED code protects a 64-bit word — the granularity DRAM
+// devices and wide GPU memory interfaces use (the 32-bit (39,32) variant in
+// secded.go models SRAM arrays). Layout mirrors the 32-bit code: data bits
+// at non-power-of-two Hamming positions 1..71, seven parity bits at the
+// power-of-two positions, plus one overall parity bit.
+const (
+	// DataBits64 is the protected word width.
+	DataBits64 = 64
+	// CheckBits64 is the number of Hamming parity bits.
+	CheckBits64 = 7
+	// TotalBits64 is the full codeword width including overall parity.
+	TotalBits64 = DataBits64 + CheckBits64 + 1 // 72
+)
+
+// Codeword64 is a packed 72-bit SECDED codeword. Bits 0..70 hold the
+// Hamming codeword (position i+1); bit 71 is overall parity.
+type Codeword64 struct {
+	// Lo holds bits 0..63, Hi bits 64..71.
+	Lo uint64
+	Hi uint8
+}
+
+func (c Codeword64) bit(pos int) uint64 {
+	if pos < 64 {
+		return (c.Lo >> uint(pos)) & 1
+	}
+	return uint64((c.Hi >> uint(pos-64)) & 1)
+}
+
+func (c *Codeword64) flip(pos int) {
+	if pos < 64 {
+		c.Lo ^= 1 << uint(pos)
+	} else {
+		c.Hi ^= 1 << uint(pos-64)
+	}
+}
+
+// dataPositions64[i] is the Hamming position (1-based) of data bit i.
+var dataPositions64 = buildDataPositions64()
+
+func buildDataPositions64() [DataBits64]int {
+	var pos [DataBits64]int
+	i := 0
+	for p := 1; i < DataBits64; p++ {
+		if p&(p-1) == 0 {
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}
+
+// Encode64 produces the SECDED codeword for a 64-bit data word.
+func Encode64(data uint64) Codeword64 {
+	var cw Codeword64
+	for i := 0; i < DataBits64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			cw.flip(dataPositions64[i] - 1)
+		}
+	}
+	for k := 0; k < CheckBits64; k++ {
+		p := 1 << uint(k)
+		parity := uint64(0)
+		for pos := 1; pos <= DataBits64+CheckBits64; pos++ {
+			if pos&p != 0 {
+				parity ^= cw.bit(pos - 1)
+			}
+		}
+		if parity != 0 {
+			cw.flip(p - 1)
+		}
+	}
+	// Overall parity over the 71 Hamming bits.
+	total := bits.OnesCount64(cw.Lo) + bits.OnesCount8(cw.Hi&0x7F)
+	if total%2 != 0 {
+		cw.flip(TotalBits64 - 1)
+	}
+	return cw
+}
+
+func syndrome64(cw Codeword64) int {
+	s := 0
+	for k := 0; k < CheckBits64; k++ {
+		p := 1 << uint(k)
+		parity := uint64(0)
+		for pos := 1; pos <= DataBits64+CheckBits64; pos++ {
+			if pos&p != 0 {
+				parity ^= cw.bit(pos - 1)
+			}
+		}
+		if parity != 0 {
+			s |= p
+		}
+	}
+	return s
+}
+
+func extractData64(cw Codeword64) uint64 {
+	var data uint64
+	for i := 0; i < DataBits64; i++ {
+		if cw.bit(dataPositions64[i]-1) != 0 {
+			data |= 1 << uint(i)
+		}
+	}
+	return data
+}
+
+// Decode64 classifies and, when possible, repairs a received codeword,
+// with the same outcome semantics as the 32-bit Decode.
+func Decode64(received Codeword64) (uint64, Outcome) {
+	s := syndrome64(received)
+	overall := (bits.OnesCount64(received.Lo) + bits.OnesCount8(received.Hi)) % 2
+
+	switch {
+	case s == 0 && overall == 0:
+		return extractData64(received), OK
+	case s != 0 && overall == 1:
+		if s >= 1 && s <= DataBits64+CheckBits64 {
+			received.flip(s - 1)
+		}
+		return extractData64(received), CorrectedSingle
+	case s == 0 && overall == 1:
+		return extractData64(received), CorrectedSingle
+	default:
+		return extractData64(received), DetectedDouble
+	}
+}
+
+// FlipBits64 returns the codeword with the given bit positions (0..71)
+// flipped.
+func FlipBits64(cw Codeword64, positions ...int) (Codeword64, error) {
+	for _, p := range positions {
+		if p < 0 || p >= TotalBits64 {
+			return Codeword64{}, fmt.Errorf("ecc: flip position %d out of range [0,%d)", p, TotalBits64)
+		}
+		cw.flip(p)
+	}
+	return cw, nil
+}

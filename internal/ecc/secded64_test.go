@@ -1,0 +1,79 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode64DecodeRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		got, outcome := Decode64(Encode64(data))
+		return got == data && outcome == OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitCorrection64AllPositions(t *testing.T) {
+	for _, data := range []uint64{0, ^uint64(0), 0xDEADBEEFCAFEF00D, 1} {
+		cw := Encode64(data)
+		for pos := 0; pos < TotalBits64; pos++ {
+			flipped, err := FlipBits64(cw, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, outcome := Decode64(flipped)
+			if outcome != CorrectedSingle || got != data {
+				t.Fatalf("word %#x bit %d: got %#x outcome %v", data, pos, got, outcome)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetection64Sampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := rng.Uint64()
+	cw := Encode64(data)
+	for n := 0; n < 500; n++ {
+		i := rng.Intn(TotalBits64)
+		j := rng.Intn(TotalBits64)
+		if i == j {
+			continue
+		}
+		flipped, err := FlipBits64(cw, i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, outcome := Decode64(flipped); outcome != DetectedDouble {
+			t.Fatalf("bits (%d,%d): outcome %v, want detected-double", i, j, outcome)
+		}
+	}
+}
+
+func TestDataPositions64SkipPowersOfTwo(t *testing.T) {
+	for i, p := range dataPositions64 {
+		if p&(p-1) == 0 {
+			t.Errorf("data bit %d assigned parity position %d", i, p)
+		}
+	}
+	if dataPositions64[DataBits64-1] != DataBits64+CheckBits64 {
+		t.Errorf("last position = %d, want %d", dataPositions64[DataBits64-1], DataBits64+CheckBits64)
+	}
+}
+
+func TestFlipBits64Range(t *testing.T) {
+	if _, err := FlipBits64(Codeword64{}, -1); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := FlipBits64(Codeword64{}, TotalBits64); err == nil {
+		t.Error("past-end position accepted")
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode64(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}

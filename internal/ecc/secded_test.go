@@ -1,0 +1,156 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data uint32) bool {
+		got, outcome := Decode(Encode(data))
+		return got == data && outcome == OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitCorrectionAllPositions(t *testing.T) {
+	words := []uint32{0, 0xFFFFFFFF, 0xDEADBEEF, 0x12345678, 0x80000001}
+	for _, data := range words {
+		cw := Encode(data)
+		for pos := 0; pos < TotalBits; pos++ {
+			flipped, err := FlipBits(cw, pos)
+			if err != nil {
+				t.Fatalf("FlipBits: %v", err)
+			}
+			got, outcome := Decode(flipped)
+			if outcome != CorrectedSingle {
+				t.Fatalf("word %#x bit %d: outcome = %v, want corrected-single", data, pos, outcome)
+			}
+			if got != data {
+				t.Fatalf("word %#x bit %d: decoded %#x, want %#x", data, pos, got, data)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetectionAllPairs(t *testing.T) {
+	data := uint32(0xCAFEF00D)
+	cw := Encode(data)
+	for i := 0; i < TotalBits; i++ {
+		for j := i + 1; j < TotalBits; j++ {
+			flipped, err := FlipBits(cw, i, j)
+			if err != nil {
+				t.Fatalf("FlipBits: %v", err)
+			}
+			_, outcome := Decode(flipped)
+			if outcome != DetectedDouble {
+				t.Fatalf("bits (%d,%d): outcome = %v, want detected-double", i, j, outcome)
+			}
+		}
+	}
+}
+
+func TestSingleErrorCorrectionProperty(t *testing.T) {
+	f := func(data uint32, posSeed uint8) bool {
+		pos := int(posSeed) % TotalBits
+		flipped, err := FlipBits(Encode(data), pos)
+		if err != nil {
+			return false
+		}
+		got, outcome := Decode(flipped)
+		return got == data && outcome == CorrectedSingle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTripleFaultsEscapeOrMiscorrect demonstrates the escape behaviour that
+// motivates the paper: ≥3-bit faults are beyond SECDED and frequently alias
+// to clean or single-error codewords, returning wrong data without a
+// detected-double outcome.
+func TestTripleFaultsEscapeOrMiscorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	escapes := 0
+	const trials = 2000
+	for n := 0; n < trials; n++ {
+		data := rng.Uint32()
+		cw := Encode(data)
+		// Three distinct positions.
+		perm := rng.Perm(TotalBits)
+		flipped, err := FlipBits(cw, perm[0], perm[1], perm[2])
+		if err != nil {
+			t.Fatalf("FlipBits: %v", err)
+		}
+		got, outcome := Decode(flipped)
+		if outcome != DetectedDouble && got != data {
+			escapes++
+		}
+	}
+	if escapes == 0 {
+		t.Fatalf("no 3-bit fault escaped in %d trials; expected frequent miscorrection", trials)
+	}
+	t.Logf("3-bit faults: %d/%d escaped detection with corrupted data (%.1f%%)",
+		escapes, trials, 100*float64(escapes)/trials)
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{OK, "ok"},
+		{CorrectedSingle, "corrected-single"},
+		{DetectedDouble, "detected-double"},
+		{Miscorrect, "miscorrect"},
+		{Outcome(99), "outcome(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func TestFlipBitsRange(t *testing.T) {
+	if _, err := FlipBits(0, -1); err == nil {
+		t.Error("FlipBits(-1) accepted, want error")
+	}
+	if _, err := FlipBits(0, TotalBits); err == nil {
+		t.Errorf("FlipBits(%d) accepted, want error", TotalBits)
+	}
+}
+
+func TestDataPositionsSkipPowersOfTwo(t *testing.T) {
+	for i, p := range dataPositions {
+		if p&(p-1) == 0 {
+			t.Errorf("data bit %d assigned parity position %d", i, p)
+		}
+	}
+	// Positions must be strictly increasing and within the 38-bit Hamming word.
+	for i := 1; i < DataBits; i++ {
+		if dataPositions[i] <= dataPositions[i-1] {
+			t.Errorf("positions not increasing at %d", i)
+		}
+	}
+	if dataPositions[DataBits-1] != DataBits+CheckBits {
+		t.Errorf("last data position = %d, want %d", dataPositions[DataBits-1], DataBits+CheckBits)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint32(i))
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(cw)
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/timing"
+)
+
+// Fig7Point is one bar of Fig. 7: the timing-simulator result for one
+// (application, scheme, protection level) configuration.
+type Fig7Point struct {
+	App    string
+	Scheme core.Scheme
+	// Level is the cumulative number of protected data objects (0 =
+	// baseline).
+	Level int
+	// Cycles is the measured execution time in core cycles.
+	Cycles int64
+	// L1Misses is the L1-missed access count (including replica accesses).
+	L1Misses uint64
+	// NormTime and NormMisses are normalized to the unprotected baseline.
+	NormTime   float64
+	NormMisses float64
+	// CompareStalls counts pending-compare-buffer structural stalls.
+	CompareStalls uint64
+}
+
+// Fig7Config sizes the performance sweep.
+type Fig7Config struct {
+	// Apps restricts the application set (default: the evaluated eight).
+	Apps []string
+	// Policy selects the warp scheduler (default GTO).
+	Policy timing.SchedulerPolicy
+}
+
+// Fig7Overhead runs the Fig. 7 experiment: for every application, sweep the
+// cumulative number of protected data objects for both schemes and measure
+// execution time and L1-missed accesses on the timing simulator, normalized
+// to the unprotected baseline. Traces are captured once per application;
+// replication happens at replay time, exactly as the hardware proposal adds
+// copy transactions at the LD/ST unit.
+func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = s.EvaluatedNames()
+	}
+	policy := cfg.Policy
+	if policy == 0 {
+		policy = timing.GTO
+	}
+	gpu := arch.Default()
+	var out []Fig7Point
+	for _, name := range apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		traces, err := app.TraceRun(nil)
+		if err != nil {
+			return nil, err
+		}
+		run := func(plan timing.ProtectionPlan) (timing.AppStats, error) {
+			eng, err := timing.New(gpu, plan)
+			if err != nil {
+				return timing.AppStats{}, err
+			}
+			eng.Policy = policy
+			return eng.RunApp(name, traces)
+		}
+		base, err := run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s baseline: %w", name, err)
+		}
+		baseCycles := float64(base.TotalCycles())
+		baseMisses := float64(base.TotalL1Misses())
+		out = append(out, Fig7Point{
+			App: name, Scheme: core.None, Level: 0,
+			Cycles: base.TotalCycles(), L1Misses: base.TotalL1Misses(),
+			NormTime: 1, NormMisses: 1,
+		})
+		for _, scheme := range []core.Scheme{core.Detection, core.Correction} {
+			for _, level := range sortedLevels(app)[1:] {
+				_, plan, err := s.PlanFor(name, scheme, level)
+				if err != nil {
+					return nil, err
+				}
+				var tplan timing.ProtectionPlan
+				if plan != nil {
+					tplan = plan
+				}
+				st, err := run(tplan)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig7 %s %v L%d: %w", name, scheme, level, err)
+				}
+				var stalls uint64
+				for _, k := range st.Kernels {
+					stalls += k.CompareStalls
+				}
+				out = append(out, Fig7Point{
+					App:           name,
+					Scheme:        scheme,
+					Level:         level,
+					Cycles:        st.TotalCycles(),
+					L1Misses:      st.TotalL1Misses(),
+					NormTime:      float64(st.TotalCycles()) / baseCycles,
+					NormMisses:    float64(st.TotalL1Misses()) / baseMisses,
+					CompareStalls: stalls,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig7Summary aggregates the paper's headline averages.
+type Fig7Summary struct {
+	// DetectionHotOverhead is the average normalized-time overhead when
+	// only hot objects are protected with detection (paper: 1.2%).
+	DetectionHotOverhead float64
+	// CorrectionHotOverhead is the same for detection-and-correction
+	// (paper: 3.4%).
+	CorrectionHotOverhead float64
+	// DetectionAllOverhead / CorrectionAllOverhead protect every object
+	// (paper: 40.65% / 74.24%).
+	DetectionAllOverhead  float64
+	CorrectionAllOverhead float64
+}
+
+// SummarizeFig7 computes the Section V-A averages from the sweep points.
+// hotLevels maps each app to its hot-object count; allLevels to its total
+// object count.
+func SummarizeFig7(points []Fig7Point, hotLevels, allLevels map[string]int) Fig7Summary {
+	var sum Fig7Summary
+	var nDetHot, nCorHot, nDetAll, nCorAll int
+	for _, p := range points {
+		switch {
+		case p.Scheme == core.Detection && p.Level == hotLevels[p.App]:
+			sum.DetectionHotOverhead += p.NormTime - 1
+			nDetHot++
+		case p.Scheme == core.Correction && p.Level == hotLevels[p.App]:
+			sum.CorrectionHotOverhead += p.NormTime - 1
+			nCorHot++
+		}
+		switch {
+		case p.Scheme == core.Detection && p.Level == allLevels[p.App]:
+			sum.DetectionAllOverhead += p.NormTime - 1
+			nDetAll++
+		case p.Scheme == core.Correction && p.Level == allLevels[p.App]:
+			sum.CorrectionAllOverhead += p.NormTime - 1
+			nCorAll++
+		}
+	}
+	if nDetHot > 0 {
+		sum.DetectionHotOverhead /= float64(nDetHot)
+	}
+	if nCorHot > 0 {
+		sum.CorrectionHotOverhead /= float64(nCorHot)
+	}
+	if nDetAll > 0 {
+		sum.DetectionAllOverhead /= float64(nDetAll)
+	}
+	if nCorAll > 0 {
+		sum.CorrectionAllOverhead /= float64(nCorAll)
+	}
+	return sum
+}
+
+// LevelMaps returns per-app hot-object and total-object counts for
+// SummarizeFig7.
+func LevelMaps(s *Suite, apps []string) (hot, all map[string]int, err error) {
+	hot = make(map[string]int, len(apps))
+	all = make(map[string]int, len(apps))
+	for _, name := range apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		hot[name] = app.HotCount
+		all[name] = len(app.Objects)
+	}
+	return hot, all, nil
+}

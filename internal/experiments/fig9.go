@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+	"github.com/datacentric-gpu/dcrm/internal/kernels"
+	"github.com/datacentric-gpu/dcrm/internal/timing"
+)
+
+// Fig9Config sizes the resilience evaluation.
+type Fig9Config struct {
+	// Runs per configuration (paper: 1000).
+	Runs int
+	// Seed makes campaigns reproducible.
+	Seed int64
+	// Models overrides the fault models (default: the paper's six).
+	Models []fault.Model
+	// Apps restricts the application set (default: the evaluated eight).
+	Apps []string
+	// Schemes overrides the schemes swept (default: detection and
+	// correction).
+	Schemes []core.Scheme
+}
+
+func (c Fig9Config) withDefaults() Fig9Config {
+	if c.Runs == 0 {
+		c.Runs = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if len(c.Models) == 0 {
+		c.Models = DefaultFaultModels()
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = []core.Scheme{core.Detection, core.Correction}
+	}
+	return c
+}
+
+// Fig9Cell is one bar of Fig. 9.
+type Fig9Cell struct {
+	App    string
+	Scheme core.Scheme
+	// Level is the cumulative number of protected objects (0 = baseline;
+	// plotted once under scheme None).
+	Level  int
+	Model  fault.Model
+	Result fault.Result
+}
+
+// weightConfig is the GPU configuration used to collect the Fig. 8 miss
+// histogram: Table I with the cache capacities scaled down in proportion to
+// the scaled workload inputs. At the paper's full problem sizes the 16 KB
+// L1 thrashes under the streaming matrix/image traffic and the hot blocks
+// miss on most of their re-references, which is what exposes them to the
+// L2/DRAM fault domain; the scaled inputs would otherwise fit comfortably
+// and hide that behaviour. The performance experiments (Fig. 7) keep the
+// unscaled Table I hierarchy.
+func weightConfig() arch.Config {
+	cfg := arch.Default()
+	cfg.L1.SizeBytes = 2 * 1024
+	cfg.L2.SizeBytes = 32 * 1024
+	return cfg
+}
+
+// MissWeightedSelector builds the Fig. 8 block selector for one protected
+// application instance: a timing run (with the plan's replica traffic)
+// produces the per-block L1-miss histogram, and injection probability is
+// proportional to it — misses expose data to the L2/DRAM fault domain.
+func MissWeightedSelector(app *kernels.App, plan *core.Plan) (fault.Selector, error) {
+	traces, err := app.TraceRun(nil)
+	if err != nil {
+		return nil, err
+	}
+	var tplan timing.ProtectionPlan
+	if plan != nil {
+		tplan = plan
+	}
+	eng, err := timing.New(weightConfig(), tplan)
+	if err != nil {
+		return nil, err
+	}
+	eng.TrackBlockMisses = true
+	if _, err := eng.RunApp(app.Name, traces); err != nil {
+		return nil, err
+	}
+	hist := eng.BlockMisses()
+	if len(hist) == 0 {
+		return nil, fmt.Errorf("experiments: %s produced no L1 misses", app.Name)
+	}
+	// Deterministic block order: map iteration order would otherwise make
+	// seeded campaigns irreproducible.
+	blocks := make([]arch.BlockAddr, 0, len(hist))
+	for b := range hist {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	weights := make([]float64, 0, len(blocks))
+	for _, b := range blocks {
+		weights = append(weights, float64(hist[b]))
+	}
+	return fault.NewWeightedSelector(blocks, weights)
+}
+
+// Fig9Resilience runs the Fig. 9 experiment: inject faults across the whole
+// application address space (block choice weighted by L1-missed accesses,
+// replicas included) and count SDC outcomes as protection cumulatively
+// covers more data objects under each scheme.
+func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
+	cfg = cfg.withDefaults()
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = s.EvaluatedNames()
+	}
+	var out []Fig9Cell
+	for _, name := range apps {
+		golden, err := s.Golden(name)
+		if err != nil {
+			return nil, err
+		}
+		baseApp, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+
+		type config struct {
+			scheme core.Scheme
+			level  int
+		}
+		configs := []config{{core.None, 0}}
+		for _, scheme := range cfg.Schemes {
+			for _, level := range sortedLevels(baseApp)[1:] {
+				configs = append(configs, config{scheme, level})
+			}
+		}
+		for _, c := range configs {
+			app, plan, err := s.PlanFor(name, c.scheme, c.level)
+			if err != nil {
+				return nil, err
+			}
+			sel, err := MissWeightedSelector(app, plan)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig9 %s %v L%d: %w", name, c.scheme, c.level, err)
+			}
+			for _, model := range cfg.Models {
+				model := model
+				campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed}
+				res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+					clone := app.Mem.Clone()
+					if _, err := fault.Inject(clone, rng, model, sel); err != nil {
+						return 0, err
+					}
+					return ClassifyRun(app, clone, plan, golden)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig9 %s %v L%d %v: %w", name, c.scheme, c.level, model, err)
+				}
+				out = append(out, Fig9Cell{App: name, Scheme: c.scheme, Level: c.level, Model: model, Result: res})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SDCDropPercent computes the paper's headline reliability number: the
+// average percentage drop in SDC outcomes when hot objects are protected,
+// relative to the unprotected baseline, across every fault configuration
+// and both schemes (paper: 98.97%).
+func SDCDropPercent(cells []Fig9Cell, hotLevels map[string]int) float64 {
+	type key struct {
+		app   string
+		model fault.Model
+	}
+	baseline := make(map[key]int)
+	for _, c := range cells {
+		if c.Scheme == core.None && c.Level == 0 {
+			baseline[key{c.App, c.Model}] = c.Result.SDCRuns
+		}
+	}
+	var drop float64
+	n := 0
+	for _, c := range cells {
+		if c.Scheme == core.None || c.Level != hotLevels[c.App] {
+			continue
+		}
+		base := baseline[key{c.App, c.Model}]
+		if base == 0 {
+			continue // baseline already SDC-free; no drop to measure
+		}
+		drop += 100 * float64(base-c.Result.SDCRuns) / float64(base)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return drop / float64(n)
+}

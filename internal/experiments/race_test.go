@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+// TestCampaignRaceClean exercises the full clone→inject→run→classify path
+// with multiple workers under the race detector.
+func TestCampaignRaceClean(t *testing.T) {
+	s := testSuite(t)
+	app, plan, err := s.PlanFor("P-BICG", core.Detection, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := s.Golden("P-BICG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := MissWeightedSelector(app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fault.Campaign{Runs: 24, Seed: 3, Workers: 8}
+	if _, err := c.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+		clone := app.Mem.Clone()
+		if _, err := fault.Inject(clone, rng, fault.Model{BitsPerWord: 3, Blocks: 5}, sel); err != nil {
+			return 0, err
+		}
+		return ClassifyRun(app, clone, plan, golden)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

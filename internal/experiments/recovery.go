@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+// RecoveryCost models the end-to-end cost difference between the two
+// schemes under a given fault environment (Section IV-B1: on detection the
+// application terminates and "the user is expected to rerun").
+//
+// Detection pays a small per-run overhead but must rerun whenever a fault
+// is caught; correction pays a larger per-run overhead and never reruns.
+// With termination probability p per run, the expected number of detection
+// attempts is 1/(1-p) (each rerun faces the same permanent-fault
+// environment only if the faulty hardware persists; for transient
+// environments a single rerun suffices, making this an upper bound).
+type RecoveryCost struct {
+	// DetectionNormTime and CorrectionNormTime are single-run times
+	// normalized to the unprotected baseline.
+	DetectionNormTime  float64
+	CorrectionNormTime float64
+	// TerminateProbability is the detection scheme's per-run terminate rate
+	// in the modelled fault environment.
+	TerminateProbability float64
+	// DetectionExpectedTime is the expected normalized completion time for
+	// detection including reruns: DetectionNormTime / (1 − p).
+	DetectionExpectedTime float64
+	// CorrectionWins reports whether correction completes faster in
+	// expectation.
+	CorrectionWins bool
+}
+
+// NewRecoveryCost combines a detection campaign's terminate rate with the
+// two schemes' measured single-run overheads.
+func NewRecoveryCost(detPerf, corPerf float64, detCampaign fault.Result) (RecoveryCost, error) {
+	if detPerf <= 0 || corPerf <= 0 {
+		return RecoveryCost{}, fmt.Errorf("experiments: normalized times must be positive (got %v, %v)", detPerf, corPerf)
+	}
+	if detCampaign.Runs <= 0 {
+		return RecoveryCost{}, fmt.Errorf("experiments: campaign has no runs")
+	}
+	p := float64(detCampaign.DetectedRuns) / float64(detCampaign.Runs)
+	rc := RecoveryCost{
+		DetectionNormTime:    detPerf,
+		CorrectionNormTime:   corPerf,
+		TerminateProbability: p,
+	}
+	if p >= 1 {
+		// Every run terminates: detection can never complete.
+		rc.DetectionExpectedTime = 0
+		rc.CorrectionWins = true
+		return rc, nil
+	}
+	rc.DetectionExpectedTime = detPerf / (1 - p)
+	rc.CorrectionWins = corPerf < rc.DetectionExpectedTime
+	return rc, nil
+}
+
+// BreakEvenTerminateProbability returns the per-run terminate rate above
+// which correction's extra per-run overhead pays for itself:
+// p* = 1 − detPerf/corPerf.
+func BreakEvenTerminateProbability(detPerf, corPerf float64) float64 {
+	if corPerf <= 0 || detPerf >= corPerf {
+		return 0
+	}
+	return 1 - detPerf/corPerf
+}

@@ -1,0 +1,301 @@
+// Package experiments orchestrates the paper's evaluation: one entry point
+// per table and figure, returning structured rows that cmd/repro renders
+// and bench_test.go regenerates. Each experiment composes the substrate
+// packages the way the paper's methodology describes — a profiling run for
+// the access-pattern analysis, functional fault-injection campaigns for the
+// reliability results, and timing-simulator sweeps for the performance
+// results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/kernels"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/nn"
+	"github.com/datacentric-gpu/dcrm/internal/profile"
+)
+
+// Scale selects the workload input sizes.
+type Scale int
+
+// Workload scales. Access-pattern *shapes* are scale-invariant; larger
+// scales sharpen the Fig. 3 knees and bring the Table III percentages
+// closer to the paper's full-size numbers, at proportionally higher
+// experiment cost.
+const (
+	// ScaleSmall is the default: the full evaluation runs in minutes on one
+	// core.
+	ScaleSmall Scale = iota + 1
+	// ScaleMedium roughly quadruples the footprints.
+	ScaleMedium
+	// ScaleLarge approaches the paper's input sizes for the cheaper
+	// applications (hours of runtime for full campaigns).
+	ScaleLarge
+)
+
+// String renders the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	default:
+		return "small"
+	}
+}
+
+// SuiteConfig configures the application suite shared by the experiments.
+type SuiteConfig struct {
+	// NNTrainSamples shrinks the C-NN weight construction for fast tests
+	// (0 = the nn package default).
+	NNTrainSamples int
+	// Seed drives every deterministic component.
+	Seed int64
+	// Scale selects workload input sizes (default ScaleSmall).
+	Scale Scale
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = ScaleSmall
+	}
+	return c
+}
+
+// scaleSizes returns the per-app size knobs for a scale.
+type scaleSpec struct {
+	poly    int // Polybench matrix dimension
+	stencil int // image side
+	images  int // C-NN batch
+	gram    int // Gram-Schmidt dimension
+	options int // BlackScholes contracts
+	sradIt  int // SRAD iterations
+}
+
+func (s Scale) spec() scaleSpec {
+	switch s {
+	case ScaleMedium:
+		return scaleSpec{poly: 512, stencil: 192, images: 24, gram: 96, options: 16384, sradIt: 8}
+	case ScaleLarge:
+		return scaleSpec{poly: 1024, stencil: 384, images: 64, gram: 192, options: 65536, sradIt: 12}
+	default:
+		return scaleSpec{} // zero values select each app's small defaults
+	}
+}
+
+// Suite builds and caches the paper's applications, their profiles, and
+// their fault-free golden outputs. Building C-NN's network is expensive, so
+// one network is shared across every C-NN instance the experiments create.
+type Suite struct {
+	cfg      SuiteConfig
+	net      *nn.Network
+	apps     map[string]*kernels.App
+	profiles map[string]*profile.Profile
+	goldens  map[string][]float32
+}
+
+// NewSuite constructs the suite (training the shared C-NN network once).
+func NewSuite(cfg SuiteConfig) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	net, err := nn.Train(nn.TrainConfig{TrainSamples: cfg.NNTrainSamples, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &Suite{
+		cfg:      cfg,
+		net:      net,
+		apps:     make(map[string]*kernels.App),
+		profiles: make(map[string]*profile.Profile),
+		goldens:  make(map[string][]float32),
+	}, nil
+}
+
+// AllNames returns every application label, evaluated apps first.
+func (s *Suite) AllNames() []string {
+	out := make([]string, 0, 10)
+	for _, b := range kernels.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// EvaluatedNames returns the eight Table II applications.
+func (s *Suite) EvaluatedNames() []string {
+	out := make([]string, 0, 8)
+	for _, b := range kernels.Evaluated() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// Fresh builds a new instance of the named application at the configured
+// scale. Every instance has an identical deterministic memory layout, so
+// traces and goldens transfer between instances; protection plans, which
+// extend the memory image with replicas, get a private instance each.
+func (s *Suite) Fresh(name string) (*kernels.App, error) {
+	sp := s.cfg.Scale.spec()
+	switch name {
+	case "C-NN":
+		return kernels.NewCNN(kernels.CNNConfig{Seed: s.cfg.Seed, Net: s.net, Images: sp.images})
+	case "P-BICG":
+		return kernels.NewBICG(kernels.BICGConfig{NX: sp.poly, NY: sp.poly})
+	case "P-GESUMMV":
+		return kernels.NewGESUMMV(kernels.GESUMMVConfig{N: sp.poly})
+	case "P-MVT":
+		return kernels.NewMVT(kernels.MVTConfig{N: sp.poly})
+	case "P-GRAMSCHM":
+		return kernels.NewGramSchmidt(kernels.GramSchmidtConfig{N: sp.gram})
+	case "C-BlackScholes":
+		return kernels.NewBlackScholes(kernels.BlackScholesConfig{Options: sp.options})
+	case "A-Laplacian":
+		return kernels.NewLaplacian(kernels.StencilConfig{Width: sp.stencil, Height: sp.stencil})
+	case "A-Meanfilter":
+		return kernels.NewMeanfilter(kernels.StencilConfig{Width: sp.stencil, Height: sp.stencil})
+	case "A-Sobel":
+		return kernels.NewSobel(kernels.StencilConfig{Width: sp.stencil, Height: sp.stencil})
+	case "A-SRAD":
+		return kernels.NewSRAD(kernels.SRADConfig{Width: sp.stencil, Height: sp.stencil, Iterations: sp.sradIt})
+	}
+	b, err := kernels.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// App returns the cached base instance of the named application.
+func (s *Suite) App(name string) (*kernels.App, error) {
+	if a, ok := s.apps[name]; ok {
+		return a, nil
+	}
+	a, err := s.Fresh(name)
+	if err != nil {
+		return nil, err
+	}
+	s.apps[name] = a
+	return a, nil
+}
+
+// Profile returns the cached access profile of the named application.
+func (s *Suite) Profile(name string) (*profile.Profile, error) {
+	if p, ok := s.profiles[name]; ok {
+		return p, nil
+	}
+	a, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.Collect(a)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles[name] = p
+	return p, nil
+}
+
+// Golden returns the cached fault-free output of the named application.
+func (s *Suite) Golden(name string) ([]float32, error) {
+	if g, ok := s.goldens[name]; ok {
+		return g, nil
+	}
+	a, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := a.GoldenRun()
+	if err != nil {
+		return nil, err
+	}
+	s.goldens[name] = g
+	return g, nil
+}
+
+// PlanFor builds a protection plan on a fresh instance of the application,
+// protecting the first `level` objects in Table III priority order. Level 0
+// returns the unprotected instance with a nil plan.
+func (s *Suite) PlanFor(name string, scheme core.Scheme, level int) (*kernels.App, *core.Plan, error) {
+	app, err := s.Fresh(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if level <= 0 || scheme == core.None {
+		return app, nil, nil
+	}
+	if level > len(app.Objects) {
+		level = len(app.Objects)
+	}
+	objs := app.Objects[:level]
+	// Only read-only objects are replicable; writable ones (e.g. the
+	// P-GRAMSCHM matrix) are skipped, as the paper's schemes require.
+	filtered := objs[:0:0]
+	for _, o := range objs {
+		if o.ReadOnly {
+			filtered = append(filtered, o)
+		}
+	}
+	if len(filtered) == 0 {
+		return app, nil, nil
+	}
+	plan, err := core.NewPlan(app.Mem, core.PlanConfig{
+		Scheme:  scheme,
+		Objects: filtered,
+		Sites:   app.Sites,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s %v level %d: %w", name, scheme, level, err)
+	}
+	return app, plan, nil
+}
+
+// PlanForObjects builds a protection plan on a fresh instance covering the
+// named data objects (in the given priority order). Unknown names are an
+// error; writable objects are rejected by the plan itself.
+func (s *Suite) PlanForObjects(name string, scheme core.Scheme, objectNames []string) (*kernels.App, *core.Plan, error) {
+	app, err := s.Fresh(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(objectNames) == 0 || scheme == core.None {
+		return app, nil, nil
+	}
+	objs := make([]*mem.Buffer, 0, len(objectNames))
+	for _, n := range objectNames {
+		b, ok := app.Mem.BufferByName(n)
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: %s has no data object %q", name, n)
+		}
+		objs = append(objs, b)
+	}
+	plan, err := core.NewPlan(app.Mem, core.PlanConfig{
+		Scheme:  scheme,
+		Objects: objs,
+		Sites:   app.Sites,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s %v objects %v: %w", name, scheme, objectNames, err)
+	}
+	return app, plan, nil
+}
+
+// sortedLevels returns the protection levels to sweep for an app:
+// 0 (baseline) through len(Objects), capped so correction stays within its
+// address-table budget.
+func sortedLevels(app *kernels.App) []int {
+	max := len(app.Objects)
+	if max > core.MaxObjectsCorrection {
+		max = core.MaxObjectsCorrection
+	}
+	out := make([]int, 0, max+1)
+	for l := 0; l <= max; l++ {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

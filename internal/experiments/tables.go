@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+)
+
+// Table1Row is one configuration line of Table I.
+type Table1Row struct {
+	Parameter string
+	Value     string
+}
+
+// Table1Config renders the simulated GPU configuration (Table I).
+func Table1Config(cfg arch.Config) []Table1Row {
+	return []Table1Row{
+		{"Core clock", fmt.Sprintf("%d MHz, SIMT width = 32 (16×2)", cfg.CoreClockMHz)},
+		{"Resources / core", fmt.Sprintf("%d KB shared memory, %d KB register file, %d SMs",
+			cfg.SharedMemPerSM/1024, cfg.RegistersPerSM/1024, cfg.NumSMs)},
+		{"L1 cache / core", fmt.Sprintf("%d KB %d-way L1 data cache, %d B lines",
+			cfg.L1.SizeBytes/1024, cfg.L1.Ways, cfg.L1.LineBytes)},
+		{"L2 cache", fmt.Sprintf("%d-way %d KB/channel (%d KB total), %d B lines",
+			cfg.L2.Ways, cfg.L2.SizeBytes/1024, cfg.TotalL2Bytes()/1024, cfg.L2.LineBytes)},
+		{"Memory model", fmt.Sprintf("%d GDDR5 controllers, FR-FCFS, %d banks/channel, %d MHz",
+			cfg.NumMemChannels, cfg.DRAMBanksPerChannel, cfg.MemClockMHz)},
+		{"Interconnect", fmt.Sprintf("%d MHz crossbar, %d-cycle traversal",
+			cfg.InterconnectClockMHz, cfg.InterconnectLatency)},
+	}
+}
+
+// Table2Row describes one application's output and error metric (Table II).
+type Table2Row struct {
+	App          string
+	OutputFormat string
+	Metric       metrics.Kind
+	Threshold    float64
+}
+
+// outputFormats mirrors Table II's descriptions.
+var outputFormats = map[string]string{
+	"C-NN":         "Vector classifications",
+	"P-BICG":       "Result vector",
+	"P-GESUMMV":    "Result vector",
+	"P-MVT":        "Result vector",
+	"A-Laplacian":  "Filtered image",
+	"A-Meanfilter": "Filtered image",
+	"A-Sobel":      "Edge-detected image",
+	"A-SRAD":       "Image",
+}
+
+// Table2ErrorMetrics reproduces Table II from the applications' metric
+// definitions.
+func Table2ErrorMetrics(s *Suite) ([]Table2Row, error) {
+	var out []Table2Row
+	for _, name := range s.EvaluatedNames() {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table2Row{
+			App:          name,
+			OutputFormat: outputFormats[name],
+			Metric:       app.Metric.Kind,
+			Threshold:    app.Metric.Threshold,
+		})
+	}
+	return out, nil
+}
+
+// RenderTable formats rows as an aligned text table for the CLI tools.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Sparkline renders a data series as a one-line ASCII chart for the CLI
+// tools: eight brightness levels, normalized to the series maximum.
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	max := series[0]
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]rune, len(series))
+	for i, v := range series {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Outcome classifies one fault-injected application run.
+type Outcome int
+
+// Run outcomes.
+const (
+	// Masked: the output matched the fault-free baseline within the
+	// application's error threshold (includes runs repaired by correction).
+	Masked Outcome = iota + 1
+	// SDC: silent data corruption — the output deviated past the threshold
+	// with no error signalled.
+	SDC
+	// Detected: the detection scheme terminated the run (a DUE, not an SDC).
+	Detected
+	// Crashed: the run failed for another reason (e.g. a fault-induced
+	// out-of-bounds access).
+	Crashed
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Detected:
+		return "detected"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// RunFunc executes one fault-injected run. Implementations clone the golden
+// memory image, inject faults with the provided rng, execute the
+// application functionally, and classify the output. It must be safe for
+// concurrent invocation.
+type RunFunc func(runIdx int, rng *rand.Rand) (Outcome, error)
+
+// Campaign executes many independent fault-injection runs.
+type Campaign struct {
+	// Runs is the experiment count (the paper uses 1000 for 95% confidence
+	// with ±3% error margins).
+	Runs int
+	// Seed makes the campaign reproducible: run i uses an rng derived from
+	// (Seed, i), so results are independent of worker scheduling.
+	Seed int64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result aggregates campaign outcomes.
+type Result struct {
+	// Runs is the number executed.
+	Runs int
+	// Counts per outcome.
+	MaskedRuns   int
+	SDCRuns      int
+	DetectedRuns int
+	CrashedRuns  int
+}
+
+// SDCRate returns the fraction of runs that produced silent data
+// corruption.
+func (r Result) SDCRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.SDCRuns) / float64(r.Runs)
+}
+
+// ConfidenceHalfWidth returns the 95% normal-approximation half-width of
+// the SDC rate estimate — the ±3% the paper cites at 1000 runs.
+func (r Result) ConfidenceHalfWidth() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	p := r.SDCRate()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(r.Runs))
+}
+
+// Execute runs the campaign, fanning runs across workers. The first run
+// error aborts the campaign.
+func (c Campaign) Execute(run RunFunc) (Result, error) {
+	if c.Runs <= 0 {
+		return Result{}, fmt.Errorf("fault: campaign needs a positive run count, got %d", c.Runs)
+	}
+	if run == nil {
+		return Result{}, fmt.Errorf("fault: nil run function")
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Runs {
+		workers = c.Runs
+	}
+
+	var (
+		mu      sync.Mutex
+		res     = Result{Runs: c.Runs}
+		firstEr error
+		next    int
+		wg      sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstEr != nil || next >= c.Runs {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(o Outcome, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstEr == nil {
+				firstEr = err
+			}
+			return
+		}
+		switch o {
+		case Masked:
+			res.MaskedRuns++
+		case SDC:
+			res.SDCRuns++
+		case Detected:
+			res.DetectedRuns++
+		case Crashed:
+			res.CrashedRuns++
+		default:
+			if firstEr == nil {
+				firstEr = fmt.Errorf("fault: run returned invalid outcome %d", int(o))
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				// Derive the per-run rng deterministically from (seed, i).
+				const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier
+				rng := rand.New(rand.NewSource(c.Seed ^ (int64(i)+1)*mix))
+				o, err := run(i, rng)
+				record(o, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return Result{}, firstEr
+	}
+	return res, nil
+}

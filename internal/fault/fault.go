@@ -1,0 +1,193 @@
+// Package fault implements the paper's fault-injection methodology
+// (Section II-C): permanent stuck-at faults of 2–4 bits injected into one
+// random 32-bit word of each selected 128 B data memory block, with block
+// selection strategies for the hot/rest split of Fig. 6 and the
+// L1-miss-weighted whole-space injection of Fig. 9, and campaigns of many
+// independent runs executed in parallel with binomial confidence intervals.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+)
+
+// Model describes one injection configuration: how many blocks are made
+// faulty per run and how many bits are stuck within the targeted word.
+type Model struct {
+	// BitsPerWord is the multi-bit fault size (the paper uses 2, 3, 4).
+	BitsPerWord int
+	// Blocks is the number of faulty data memory blocks per run (1 or 5).
+	Blocks int
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.BitsPerWord < 1 || m.BitsPerWord > 32 {
+		return fmt.Errorf("fault: bits per word must be in [1,32], got %d", m.BitsPerWord)
+	}
+	if m.Blocks < 1 {
+		return fmt.Errorf("fault: blocks per run must be positive, got %d", m.Blocks)
+	}
+	return nil
+}
+
+// String renders the model the way the paper labels its configurations.
+func (m Model) String() string {
+	return fmt.Sprintf("%d-bit/%d-block", m.BitsPerWord, m.Blocks)
+}
+
+// Selector chooses the target blocks for one run.
+type Selector interface {
+	// Select returns n target blocks (repeats allowed only if the
+	// underlying population is smaller than n).
+	Select(rng *rand.Rand, n int) []arch.BlockAddr
+}
+
+// SetSelector selects uniformly from a fixed block population — the hot
+// set or the rest-of-memory set of Fig. 6.
+type SetSelector struct {
+	blocks []arch.BlockAddr
+}
+
+// NewSetSelector builds a selector over the population. The slice is copied.
+func NewSetSelector(blocks []arch.BlockAddr) (*SetSelector, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("fault: empty block population")
+	}
+	return &SetSelector{blocks: append([]arch.BlockAddr(nil), blocks...)}, nil
+}
+
+// Size returns the population size.
+func (s *SetSelector) Size() int { return len(s.blocks) }
+
+// Select implements Selector: n distinct blocks when possible.
+func (s *SetSelector) Select(rng *rand.Rand, n int) []arch.BlockAddr {
+	if n >= len(s.blocks) {
+		return append([]arch.BlockAddr(nil), s.blocks...)
+	}
+	idx := rng.Perm(len(s.blocks))[:n]
+	out := make([]arch.BlockAddr, n)
+	for i, j := range idx {
+		out[i] = s.blocks[j]
+	}
+	return out
+}
+
+// WeightedSelector selects blocks with probability proportional to a weight
+// (the paper's Fig. 8 methodology: L1-missed access counts, since misses
+// expose data to the L2/DRAM fault domain).
+type WeightedSelector struct {
+	blocks []arch.BlockAddr
+	cum    []float64 // cumulative weights
+}
+
+// NewWeightedSelector builds a selector; weights must be non-negative with
+// a positive sum, one per block.
+func NewWeightedSelector(blocks []arch.BlockAddr, weights []float64) (*WeightedSelector, error) {
+	if len(blocks) == 0 || len(blocks) != len(weights) {
+		return nil, fmt.Errorf("fault: need matching non-empty blocks (%d) and weights (%d)",
+			len(blocks), len(weights))
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("fault: weight %d is %v; must be non-negative", i, w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("fault: weights sum to %v; must be positive", total)
+	}
+	return &WeightedSelector{blocks: append([]arch.BlockAddr(nil), blocks...), cum: cum}, nil
+}
+
+// Select implements Selector: n draws without replacement (by rejection).
+func (s *WeightedSelector) Select(rng *rand.Rand, n int) []arch.BlockAddr {
+	if n > len(s.blocks) {
+		n = len(s.blocks)
+	}
+	total := s.cum[len(s.cum)-1]
+	seen := make(map[arch.BlockAddr]bool, n)
+	out := make([]arch.BlockAddr, 0, n)
+	for len(out) < n {
+		x := rng.Float64() * total
+		i := searchCum(s.cum, x)
+		b := s.blocks[i]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// searchCum returns the first index whose cumulative weight exceeds x.
+func searchCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Inject applies the model to the memory: for each selected block, one
+// random word receives BitsPerWord stuck-at faults at distinct random bit
+// positions, each stuck at 0 or 1 with equal probability (Section II-C).
+// The word is drawn from the portion of the block actually covered by the
+// owning data object — small objects (a 3×3 filter, a scalar) occupy only
+// the head of their 128 B block, and a fault in the allocation padding
+// would be trivially masked. It returns the faulted blocks.
+func Inject(m *mem.Memory, rng *rand.Rand, model Model, sel Selector) ([]arch.BlockAddr, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		return nil, fmt.Errorf("fault: nil selector")
+	}
+	blocks := sel.Select(rng, model.Blocks)
+	for _, b := range blocks {
+		words := arch.WordsPerBlock
+		if buf, ok := m.BufferAt(b.Base()); ok {
+			used := (int(buf.Base) + buf.Size - int(b.Base()) + arch.WordBytes - 1) / arch.WordBytes
+			if used < words {
+				words = used
+			}
+			if words < 1 {
+				words = 1
+			}
+		}
+		word := rng.Intn(words)
+		addr := b.Base() + arch.Addr(word*arch.WordBytes)
+		var setMask, clrMask uint32
+		for _, bit := range rng.Perm(32)[:model.BitsPerWord] {
+			if rng.Intn(2) == 0 {
+				setMask |= 1 << uint(bit)
+			} else {
+				clrMask |= 1 << uint(bit)
+			}
+		}
+		if setMask != 0 {
+			if err := m.InjectStuckAt(addr, setMask, true); err != nil {
+				return nil, fmt.Errorf("fault: block %d: %w", b, err)
+			}
+		}
+		if clrMask != 0 {
+			if err := m.InjectStuckAt(addr, clrMask, false); err != nil {
+				return nil, fmt.Errorf("fault: block %d: %w", b, err)
+			}
+		}
+	}
+	return blocks, nil
+}

@@ -1,0 +1,329 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+	"github.com/datacentric-gpu/dcrm/internal/nn"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// CNNConfig sizes C-NN.
+type CNNConfig struct {
+	// Images is the number of digits classified per run (default 8 — large
+	// enough that the Layer2_Weights per-block access count, which scales
+	// with the batch, overtakes the Images object as in Table III; the
+	// paper classifies a full test set).
+	Images int
+	// Seed drives weight construction and dataset generation.
+	Seed int64
+	// Net supplies a pre-built network, avoiding the construction cost when
+	// many apps share one (tests, experiment sweeps).
+	Net *nn.Network
+}
+
+func (c CNNConfig) withDefaults() CNNConfig {
+	if c.Images == 0 {
+		c.Images = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NewCNN builds C-NN: four kernels, one per network layer, classifying a
+// batch of images. The hot data objects are Layer1_Weights and
+// Layer2_Weights (Table III): every thread of their layer's launch reads
+// them via broadcast accesses, concentrating enormous access counts on a
+// handful of memory blocks.
+func NewCNN(cfg CNNConfig) (*App, error) {
+	cfg = cfg.withDefaults()
+	images := cfg.Images
+	if images <= 0 {
+		return nil, fmt.Errorf("kernels: cnn: images must be positive, got %d", images)
+	}
+	net := cfg.Net
+	if net == nil {
+		var err error
+		net, err = nn.Train(nn.TrainConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("kernels: cnn: %w", err)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("kernels: cnn: %w", err)
+	}
+	ds := nn.GenerateDataset(images, cfg.Seed+100)
+
+	m := mem.New()
+	alloc := func(name string, vals []float32, ro bool) (*mem.Buffer, error) {
+		b, err := m.Alloc(name, len(vals)*4, ro)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.WriteF32Slice(b, vals); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	bufW1, err := alloc("Layer1_Weights", net.Layer1W, true)
+	if err != nil {
+		return nil, err
+	}
+	bufW2, err := alloc("Layer2_Weights", net.Layer2W, true)
+	if err != nil {
+		return nil, err
+	}
+	bufW3, err := alloc("Layer3_Weights", net.Layer3W, true)
+	if err != nil {
+		return nil, err
+	}
+	bufW4, err := alloc("Layer4_Weights", net.Layer4W, true)
+	if err != nil {
+		return nil, err
+	}
+	bufImg, err := alloc("Images", ds.Flatten(), true)
+	if err != nil {
+		return nil, err
+	}
+	bufN1, err := m.Alloc("L1_Neurons", images*nn.Layer1Neurons*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufN2, err := m.Alloc("L2_Neurons", images*nn.Layer2Neurons*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufN3, err := m.Alloc("L3_Neurons", images*nn.Layer3Units*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufOut, err := m.Alloc("Out_Scores", images*nn.Classes*4, false)
+	if err != nil {
+		return nil, err
+	}
+
+	ss := &siteSet{}
+	ld1W := ss.site("k1.ld.L1W", bufW1)
+	ld1I := ss.site("k1.ld.images", bufImg)
+	st1N := ss.site("k1.st.L1N", nil)
+	ld2W := ss.site("k2.ld.L2W", bufW2)
+	ld2N := ss.site("k2.ld.L1N", bufN1)
+	st2N := ss.site("k2.st.L2N", nil)
+	ld3W := ss.site("k3.ld.L3W", bufW3)
+	ld3N := ss.site("k3.ld.L2N", bufN2)
+	st3N := ss.site("k3.st.L3N", nil)
+	ld4W := ss.site("k4.ld.L4W", bufW4)
+	ld4N := ss.site("k4.ld.L3N", bufN3)
+	st4O := ss.site("k4.st.out", nil)
+
+	activationOps := 6 // tanh approximation cost in ALU ops
+
+	// Kernel 1 (Listing 2): grid (map, image), 13×13 threads; each thread
+	// produces one layer-1 neuron. Weight reads are warp-uniform.
+	k1 := &simt.Kernel{
+		KernelName: "cnn_FirstLayer",
+		Grid:       arch.Dim3{X: nn.Layer1Maps, Y: images},
+		Block:      arch.Dim3{X: nn.Layer1Side, Y: nn.Layer1Side},
+		Run: func(w *simt.WarpCtx) {
+			idx := w.ScratchI32(0)
+			pix := w.ScratchF32(0)
+			acc := w.ScratchF32(1)
+			blockID, img := w.CTAIdx.X, w.CTAIdx.Y
+			wb := int32(blockID * (1 + nn.KernelTaps))
+			bias := w.LoadF32Broadcast(ld1W, bufW1, wb)
+			for lane := 0; lane < w.NumLanes; lane++ {
+				acc[lane] = bias
+			}
+			for i := 0; i < nn.KernelTaps; i++ {
+				for lane := 0; lane < w.NumLanes; lane++ {
+					tid := w.ThreadIdx(lane)
+					wy, wx := tid.Y*nn.Layer1Stride+i/nn.KernelSide, tid.X*nn.Layer1Stride+i%nn.KernelSide
+					idx[lane] = int32(img*nn.ImagePixels + wy*nn.ImageSide + wx)
+				}
+				w.LoadF32(ld1I, bufImg, idx, pix)
+				wv := w.LoadF32Broadcast(ld1W, bufW1, wb+1+int32(i))
+				for lane := 0; lane < w.NumLanes; lane++ {
+					acc[lane] += pix[lane] * wv
+				}
+				w.Compute(1)
+			}
+			for lane := 0; lane < w.NumLanes; lane++ {
+				tid := w.ThreadIdx(lane)
+				idx[lane] = int32(img*nn.Layer1Neurons + blockID*nn.Layer1Side*nn.Layer1Side + tid.Y*nn.Layer1Side + tid.X)
+				acc[lane] = scaledTanh(acc[lane])
+			}
+			w.Compute(activationOps)
+			w.StoreF32(st1N, bufN1, idx, acc)
+		},
+	}
+
+	// Kernel 2: grid (map, image), 5×5 threads.
+	k2 := &simt.Kernel{
+		KernelName: "cnn_SecondLayer",
+		Grid:       arch.Dim3{X: nn.Layer2Maps, Y: images},
+		Block:      arch.Dim3{X: nn.Layer2Side, Y: nn.Layer2Side},
+		Run: func(w *simt.WarpCtx) {
+			idx := w.ScratchI32(0)
+			pix := w.ScratchF32(0)
+			acc := w.ScratchF32(1)
+			o, img := w.CTAIdx.X, w.CTAIdx.Y
+			for lane := 0; lane < w.NumLanes; lane++ {
+				acc[lane] = 0
+			}
+			for mIn := 0; mIn < nn.Layer1Maps; mIn++ {
+				wb := int32((o*nn.Layer1Maps + mIn) * (1 + nn.KernelTaps))
+				bias := w.LoadF32Broadcast(ld2W, bufW2, wb)
+				for lane := 0; lane < w.NumLanes; lane++ {
+					acc[lane] += bias
+				}
+				base := img*nn.Layer1Neurons + mIn*nn.Layer1Side*nn.Layer1Side
+				for i := 0; i < nn.KernelTaps; i++ {
+					for lane := 0; lane < w.NumLanes; lane++ {
+						tid := w.ThreadIdx(lane)
+						wy := tid.Y*nn.Layer1Stride + i/nn.KernelSide
+						wx := tid.X*nn.Layer1Stride + i%nn.KernelSide
+						idx[lane] = int32(base + wy*nn.Layer1Side + wx)
+					}
+					w.LoadF32(ld2N, bufN1, idx, pix)
+					wv := w.LoadF32Broadcast(ld2W, bufW2, wb+1+int32(i))
+					for lane := 0; lane < w.NumLanes; lane++ {
+						acc[lane] += pix[lane] * wv
+					}
+					w.Compute(1)
+				}
+			}
+			for lane := 0; lane < w.NumLanes; lane++ {
+				tid := w.ThreadIdx(lane)
+				idx[lane] = int32(img*nn.Layer2Neurons + o*nn.Layer2Side*nn.Layer2Side + tid.Y*nn.Layer2Side + tid.X)
+				acc[lane] = scaledTanh(acc[lane])
+			}
+			w.Compute(activationOps)
+			w.StoreF32(st2N, bufN2, idx, acc)
+		},
+	}
+
+	// Kernel 3: grid (unit, image), one warp; lanes stride over the 1250
+	// inputs with coalesced weight reads, then a warp reduction.
+	k3 := &simt.Kernel{
+		KernelName: "cnn_ThirdLayer",
+		Grid:       arch.Dim3{X: nn.Layer3Units, Y: images},
+		Block:      arch.Dim3{X: arch.WarpSize},
+		Run: func(w *simt.WarpCtx) {
+			idxW := w.ScratchI32(0)
+			idxN := w.ScratchI32(1)
+			wv := w.ScratchF32(0)
+			xv := w.ScratchF32(1)
+			u, img := w.CTAIdx.X, w.CTAIdx.Y
+			wb := int32(u * (nn.Layer2Neurons + 1))
+			sum := w.LoadF32Broadcast(ld3W, bufW3, wb) // bias
+			for base := 0; base < nn.Layer2Neurons; base += arch.WarpSize {
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if i := base + lane; i < nn.Layer2Neurons {
+						idxW[lane] = wb + 1 + int32(i)
+						idxN[lane] = int32(img*nn.Layer2Neurons + i)
+					} else {
+						idxW[lane] = simt.InactiveLane
+						idxN[lane] = simt.InactiveLane
+					}
+				}
+				w.LoadF32(ld3W, bufW3, idxW, wv)
+				w.LoadF32(ld3N, bufN2, idxN, xv)
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if idxW[lane] != simt.InactiveLane {
+						sum += wv[lane] * xv[lane]
+					}
+				}
+				w.Compute(1)
+			}
+			w.Compute(8) // warp reduction
+			for lane := 0; lane < w.NumLanes; lane++ {
+				idxW[lane] = simt.InactiveLane
+				wv[lane] = 0
+			}
+			idxW[0] = int32(img*nn.Layer3Units + u)
+			wv[0] = scaledTanh(sum)
+			w.Compute(activationOps)
+			w.StoreF32(st3N, bufN3, idxW, wv)
+		},
+	}
+
+	// Kernel 4: grid (image), ten lanes, one per class.
+	k4 := &simt.Kernel{
+		KernelName: "cnn_FourthLayer",
+		Grid:       arch.Dim3{X: images},
+		Block:      arch.Dim3{X: arch.WarpSize},
+		Run: func(w *simt.WarpCtx) {
+			idx := w.ScratchI32(0)
+			wv := w.ScratchF32(0)
+			acc := w.ScratchF32(1)
+			img := w.CTAIdx.X
+			for lane := 0; lane < w.NumLanes; lane++ {
+				if lane < nn.Classes {
+					idx[lane] = int32(lane * (nn.Layer3Units + 1))
+				} else {
+					idx[lane] = simt.InactiveLane
+				}
+			}
+			w.LoadF32(ld4W, bufW4, idx, acc) // per-class bias
+			for i := 0; i < nn.Layer3Units; i++ {
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if lane < nn.Classes {
+						idx[lane] = int32(lane*(nn.Layer3Units+1) + 1 + i)
+					} else {
+						idx[lane] = simt.InactiveLane
+					}
+				}
+				w.LoadF32(ld4W, bufW4, idx, wv)
+				xv := w.LoadF32Broadcast(ld4N, bufN3, int32(img*nn.Layer3Units+i))
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if lane < nn.Classes {
+						acc[lane] += wv[lane] * xv
+					}
+				}
+				w.Compute(1)
+			}
+			for lane := 0; lane < w.NumLanes; lane++ {
+				if lane < nn.Classes {
+					idx[lane] = int32(img*nn.Classes + lane)
+				} else {
+					idx[lane] = simt.InactiveLane
+				}
+			}
+			w.StoreF32(st4O, bufOut, idx, acc)
+		},
+	}
+
+	return &App{
+		Name:    "C-NN",
+		Mem:     m,
+		Kernels: []*simt.Kernel{k1, k2, k3, k4},
+		// Table III order: Layer1..Layer4 weights, then Images.
+		Objects:  []*mem.Buffer{bufW1, bufW2, bufW3, bufW4, bufImg},
+		HotCount: 2,
+		Sites:    ss.sites,
+		Metric:   metrics.Metric{Kind: metrics.Misclassification, Threshold: 0},
+		output: func(m *mem.Memory) []float32 {
+			labels := make([]float32, images)
+			for img := 0; img < images; img++ {
+				best, bestScore := 0, float32(math.Inf(-1))
+				for c := 0; c < nn.Classes; c++ {
+					if s := m.ReadF32(bufOut.ElemAddr(img*nn.Classes + c)); s > bestScore {
+						best, bestScore = c, s
+					}
+				}
+				labels[img] = float32(best)
+			}
+			return labels
+		},
+	}, nil
+}
+
+// scaledTanh is the benchmark's 1.7159·tanh(2x/3) activation.
+func scaledTanh(x float32) float32 {
+	return float32(1.7159 * math.Tanh(0.66666667*float64(x)))
+}

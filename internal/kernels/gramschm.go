@@ -1,0 +1,223 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// GramSchmidtConfig sizes P-GRAMSCHM (paper: 2048×2048; scaled default).
+type GramSchmidtConfig struct {
+	// N is the matrix dimension (N rows × N columns).
+	N int
+}
+
+func (c GramSchmidtConfig) withDefaults() GramSchmidtConfig {
+	if c.N == 0 {
+		c.N = 48
+	}
+	return c
+}
+
+// NewGramSchmidt builds P-GRAMSCHM, the Fig. 3(h) counter-example: modified
+// Gram-Schmidt QR factorisation. Column j of the matrix is touched once per
+// elimination step k ≤ j, so per-block access counts rise in small steps —
+// the staircase profile with no hot knee. The matrix is read-write, so
+// nothing is eligible for replication (HotCount = 0).
+func NewGramSchmidt(cfg GramSchmidtConfig) (*App, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	if n <= 0 {
+		return nil, fmt.Errorf("kernels: gramschmidt: size must be positive, got %d", n)
+	}
+	m := mem.New()
+	bufA, err := m.Alloc("A", n*n*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufR, err := m.Alloc("R", n*n*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufQ, err := m.Alloc("Q", n*n*4, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Diagonally dominant so the factorisation stays well
+			// conditioned.
+			v := float32((i*j)%n)/float32(n) + 0.1
+			if i == j {
+				v += float32(n) / 8
+			}
+			m.WriteF32(bufA.ElemAddr(i*n+j), v)
+		}
+	}
+
+	ss := &siteSet{}
+	ld1A := ss.site("k1.ld.A", bufA)
+	st1R := ss.site("k1.st.R", nil)
+	ld2A := ss.site("k2.ld.A", bufA)
+	ld2R := ss.site("k2.ld.R", bufR)
+	st2Q := ss.site("k2.st.Q", nil)
+	ld3Q := ss.site("k3.ld.Q", bufQ)
+	ld3A := ss.site("k3.ld.A", bufA)
+	st3R := ss.site("k3.st.R", nil)
+	st3A := ss.site("k3.st.A", nil)
+
+	var ks []*simt.Kernel
+	for k := 0; k < n; k++ {
+		k := k
+		// Kernel 1: R[k][k] = ‖A[:,k]‖ (one warp, lane-strided reduction).
+		ks = append(ks, &simt.Kernel{
+			KernelName: fmt.Sprintf("gramschmidt_kernel1_%d", k),
+			Grid:       arch.Dim3{X: 1},
+			Block:      arch.Dim3{X: arch.WarpSize},
+			Run: func(w *simt.WarpCtx) {
+				idx := w.ScratchI32(0)
+				dst := w.ScratchF32(0)
+				sum := float32(0)
+				for base := 0; base < n; base += arch.WarpSize {
+					for lane := 0; lane < w.NumLanes; lane++ {
+						if i := base + lane; i < n {
+							idx[lane] = int32(i*n + k)
+						} else {
+							idx[lane] = simt.InactiveLane
+						}
+					}
+					w.LoadF32(ld1A, bufA, idx, dst)
+					for lane := 0; lane < w.NumLanes; lane++ {
+						if idx[lane] != simt.InactiveLane {
+							sum += dst[lane] * dst[lane]
+						}
+					}
+					w.Compute(2)
+				}
+				w.Compute(8) // reduction + sqrt
+				for lane := 0; lane < w.NumLanes; lane++ {
+					idx[lane] = simt.InactiveLane
+					dst[lane] = 0
+				}
+				idx[0] = int32(k*n + k)
+				dst[0] = float32(math.Sqrt(float64(sum)))
+				w.StoreF32(st1R, bufR, idx, dst)
+			},
+		})
+		// Kernel 2: Q[:,k] = A[:,k] / R[k][k].
+		ks = append(ks, &simt.Kernel{
+			KernelName: fmt.Sprintf("gramschmidt_kernel2_%d", k),
+			Grid:       arch.Dim3{X: (n + polyThreadsPerCTA - 1) / polyThreadsPerCTA},
+			Block:      arch.Dim3{X: polyThreadsPerCTA},
+			Run: func(w *simt.WarpCtx) {
+				idx := w.ScratchI32(0)
+				dst := w.ScratchF32(0)
+				any := false
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if i := w.LinearThreadID(lane); i < n {
+						idx[lane] = int32(i*n + k)
+						any = true
+					} else {
+						idx[lane] = simt.InactiveLane
+					}
+				}
+				if !any {
+					return
+				}
+				w.LoadF32(ld2A, bufA, idx, dst)
+				rkk := w.LoadF32Broadcast(ld2R, bufR, int32(k*n+k))
+				if rkk == 0 {
+					rkk = 1
+				}
+				for lane := 0; lane < w.NumLanes; lane++ {
+					dst[lane] /= rkk
+				}
+				w.Compute(1)
+				w.StoreF32(st2Q, bufQ, idx, dst)
+			},
+		})
+		// Kernel 3: for each j > k: R[k][j] = Q[:,k]ᵀ·A[:,j];
+		// A[:,j] -= Q[:,k]·R[k][j]. One thread per column j.
+		if k == n-1 {
+			continue
+		}
+		ks = append(ks, &simt.Kernel{
+			KernelName: fmt.Sprintf("gramschmidt_kernel3_%d", k),
+			Grid:       arch.Dim3{X: (n + polyThreadsPerCTA - 1) / polyThreadsPerCTA},
+			Block:      arch.Dim3{X: polyThreadsPerCTA},
+			Run: func(w *simt.WarpCtx) {
+				idx := w.ScratchI32(0)
+				av := w.ScratchF32(0)
+				acc := w.ScratchF32(1)
+				upd := w.ScratchF32(2)
+				any := false
+				for lane := 0; lane < w.NumLanes; lane++ {
+					acc[lane] = 0
+					j := w.LinearThreadID(lane)
+					if j > k && j < n {
+						any = true
+					}
+				}
+				if !any {
+					return
+				}
+				for i := 0; i < n; i++ {
+					qv := w.LoadF32Broadcast(ld3Q, bufQ, int32(i*n+k))
+					for lane := 0; lane < w.NumLanes; lane++ {
+						if j := w.LinearThreadID(lane); j > k && j < n {
+							idx[lane] = int32(i*n + j)
+						} else {
+							idx[lane] = simt.InactiveLane
+						}
+					}
+					w.LoadF32(ld3A, bufA, idx, av)
+					for lane := 0; lane < w.NumLanes; lane++ {
+						acc[lane] += qv * av[lane]
+					}
+					w.Compute(1)
+				}
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if j := w.LinearThreadID(lane); j > k && j < n {
+						idx[lane] = int32(k*n + j)
+					} else {
+						idx[lane] = simt.InactiveLane
+					}
+				}
+				w.StoreF32(st3R, bufR, idx, acc)
+				for i := 0; i < n; i++ {
+					qv := w.LoadF32Broadcast(ld3Q, bufQ, int32(i*n+k))
+					for lane := 0; lane < w.NumLanes; lane++ {
+						if j := w.LinearThreadID(lane); j > k && j < n {
+							idx[lane] = int32(i*n + j)
+						} else {
+							idx[lane] = simt.InactiveLane
+						}
+					}
+					w.LoadF32(ld3A, bufA, idx, av)
+					for lane := 0; lane < w.NumLanes; lane++ {
+						upd[lane] = av[lane] - qv*acc[lane]
+					}
+					w.Compute(1)
+					w.StoreF32(st3A, bufA, idx, upd)
+				}
+			},
+		})
+	}
+
+	return &App{
+		Name:     "P-GRAMSCHM",
+		Mem:      m,
+		Kernels:  ks,
+		Objects:  []*mem.Buffer{bufA}, // read-write: nothing protectable
+		HotCount: 0,
+		Sites:    ss.sites,
+		Metric:   metrics.Metric{Kind: metrics.VectorDeviation, Threshold: polyVectorThreshold},
+		output: func(m *mem.Memory) []float32 {
+			return m.ReadF32Slice(bufQ, n*n)
+		},
+	}, nil
+}

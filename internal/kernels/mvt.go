@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// MVTConfig sizes P-MVT (paper: N = 4096).
+type MVTConfig struct {
+	N int
+}
+
+func (c MVTConfig) withDefaults() MVTConfig {
+	if c.N == 0 {
+		c.N = 192
+	}
+	return c
+}
+
+// NewMVT builds P-MVT: x1 += A·y1 (row-strided matrix reads) and
+// x2 += Aᵀ·y2 (column-coalesced matrix reads). The broadcast-read vectors
+// y1 and y2 are the hot data objects (Table III).
+func NewMVT(cfg MVTConfig) (*App, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	if n <= 0 {
+		return nil, fmt.Errorf("kernels: mvt: size must be positive, got %d", n)
+	}
+	m := mem.New()
+	bufY1, err := m.Alloc("y1", n*4, true)
+	if err != nil {
+		return nil, err
+	}
+	bufY2, err := m.Alloc("y2", n*4, true)
+	if err != nil {
+		return nil, err
+	}
+	bufA, err := m.Alloc("a", n*n*4, true)
+	if err != nil {
+		return nil, err
+	}
+	bufX1, err := m.Alloc("x1", n*4, false)
+	if err != nil {
+		return nil, err
+	}
+	bufX2, err := m.Alloc("x2", n*4, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.WriteF32(bufY1.ElemAddr(i), float32(i%11+1)/11)
+		m.WriteF32(bufY2.ElemAddr(i), float32(i%17+1)/17)
+		m.WriteF32(bufX1.ElemAddr(i), float32(i%5)/5)
+		m.WriteF32(bufX2.ElemAddr(i), float32(i%9)/9)
+		for j := 0; j < n; j++ {
+			m.WriteF32(bufA.ElemAddr(i*n+j), float32((i+j*2)%n)/float32(n))
+		}
+	}
+
+	ss := &siteSet{}
+	ldX1 := ss.site("k1.ld.x1", bufX1)
+	ldA1 := ss.site("k1.ld.a", bufA)
+	ldY1 := ss.site("k1.ld.y1", bufY1)
+	stX1 := ss.site("k1.st.x1", nil)
+	ldX2 := ss.site("k2.ld.x2", bufX2)
+	ldA2 := ss.site("k2.ld.a", bufA)
+	ldY2 := ss.site("k2.ld.y2", bufY2)
+	stX2 := ss.site("k2.st.x2", nil)
+
+	grid := arch.Dim3{X: (n + polyThreadsPerCTA - 1) / polyThreadsPerCTA}
+
+	// mvtKernel builds one of the two kernels; transposed selects Aᵀ.
+	mvtKernel := func(name string, transposed bool, bufX, bufY *mem.Buffer, ldX, ldA, ldY, stX simt.Site) *simt.Kernel {
+		return &simt.Kernel{
+			KernelName: name,
+			Grid:       grid,
+			Block:      arch.Dim3{X: polyThreadsPerCTA},
+			Run: func(w *simt.WarpCtx) {
+				idx := w.ScratchI32(0)
+				dst := w.ScratchF32(0)
+				acc := w.ScratchF32(1)
+				any := false
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if w.LinearThreadID(lane) < n {
+						idx[lane] = int32(w.LinearThreadID(lane))
+						any = true
+					} else {
+						idx[lane] = simt.InactiveLane
+					}
+				}
+				if !any {
+					return
+				}
+				// x[i] accumulates on top of its initial value.
+				w.LoadF32(ldX, bufX, idx, acc)
+				for j := 0; j < n; j++ {
+					for lane := 0; lane < w.NumLanes; lane++ {
+						i := w.LinearThreadID(lane)
+						switch {
+						case i >= n:
+							idx[lane] = simt.InactiveLane
+						case transposed:
+							idx[lane] = int32(j*n + i) // coalesced columns
+						default:
+							idx[lane] = int32(i*n + j) // strided rows
+						}
+					}
+					w.LoadF32(ldA, bufA, idx, dst)
+					yv := w.LoadF32Broadcast(ldY, bufY, int32(j))
+					for lane := 0; lane < w.NumLanes; lane++ {
+						acc[lane] += dst[lane] * yv
+					}
+					w.Compute(1)
+				}
+				for lane := 0; lane < w.NumLanes; lane++ {
+					if i := w.LinearThreadID(lane); i < n {
+						idx[lane] = int32(i)
+					} else {
+						idx[lane] = simt.InactiveLane
+					}
+				}
+				w.StoreF32(stX, bufX, idx, acc)
+			},
+		}
+	}
+
+	k1 := mvtKernel("mvt_kernel1", false, bufX1, bufY1, ldX1, ldA1, ldY1, stX1)
+	k2 := mvtKernel("mvt_kernel2", true, bufX2, bufY2, ldX2, ldA2, ldY2, stX2)
+
+	return &App{
+		Name:     "P-MVT",
+		Mem:      m,
+		Kernels:  []*simt.Kernel{k1, k2},
+		Objects:  []*mem.Buffer{bufY1, bufY2, bufA}, // Table III order: y1, y2, a
+		HotCount: 2,
+		Sites:    ss.sites,
+		Metric:   metrics.Metric{Kind: metrics.VectorDeviation, Threshold: polyVectorThreshold},
+		output: func(m *mem.Memory) []float32 {
+			out := m.ReadF32Slice(bufX1, n)
+			return append(out, m.ReadF32Slice(bufX2, n)...)
+		},
+	}, nil
+}

@@ -1,0 +1,333 @@
+// Package mem models GPU device (global) memory: named buffer allocation
+// (the paper's "data objects"), a byte-addressable memory image, and a
+// permanent stuck-at fault overlay applied on every read — the fault model
+// of Section II-C. Replica copies created by the replication schemes live in
+// this same address space at distinct addresses, so block-addressed fault
+// injection can hit primaries, replicas, or unrelated data alike.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+// ECCMode selects how the modelled SECDED layer treats stuck-at faults.
+type ECCMode int
+
+const (
+	// ECCNone disables ECC: every stuck-at bit reaches the application.
+	ECCNone ECCMode = iota + 1
+	// ECCSECDED models the paper's assumption: single-bit faults are
+	// corrected transparently by SECDED; multi-bit faults escape silently
+	// (miscorrection/aliasing, or faults in logic outside ECC coverage).
+	ECCSECDED
+)
+
+// String renders the mode for logs.
+func (m ECCMode) String() string {
+	switch m {
+	case ECCNone:
+		return "none"
+	case ECCSECDED:
+		return "secded"
+	default:
+		return fmt.Sprintf("eccmode(%d)", int(m))
+	}
+}
+
+// Buffer describes one named allocation — a "data object" in the paper's
+// terminology (e.g. Layer1_Weights, A, r). Buffers are immutable metadata;
+// their contents live in the owning Memory.
+type Buffer struct {
+	// ID is the dense index of the buffer within its Memory.
+	ID int
+	// Name is the source-level data object name.
+	Name string
+	// Base is the first byte address; always 128 B aligned.
+	Base arch.Addr
+	// Size is the allocation length in bytes.
+	Size int
+	// ReadOnly marks kernel-input objects; only read-only objects are
+	// eligible for replication (Section IV).
+	ReadOnly bool
+}
+
+// Addr returns the address of byte offset off within the buffer.
+func (b *Buffer) Addr(off int) arch.Addr { return b.Base + arch.Addr(off) }
+
+// ElemAddr returns the address of 4-byte element i.
+func (b *Buffer) ElemAddr(i int) arch.Addr { return b.Base + arch.Addr(i*4) }
+
+// Len4 returns the number of 4-byte elements in the buffer.
+func (b *Buffer) Len4() int { return b.Size / 4 }
+
+// Blocks returns the number of 128 B data memory blocks the buffer spans.
+func (b *Buffer) Blocks() int {
+	return (b.Size + arch.BlockBytes - 1) / arch.BlockBytes
+}
+
+// FirstBlock returns the buffer's first data memory block.
+func (b *Buffer) FirstBlock() arch.BlockAddr { return b.Base.Block() }
+
+// Contains reports whether the address falls inside the buffer.
+func (b *Buffer) Contains(a arch.Addr) bool {
+	return a >= b.Base && a < b.Base+arch.Addr(b.Size)
+}
+
+// wordFault is one permanent stuck-at fault record for a 32-bit word.
+type wordFault struct {
+	wordAddr arch.Addr // word-aligned address
+	setMask  uint32    // bits stuck at 1
+	clrMask  uint32    // bits stuck at 0
+}
+
+// Memory is one device memory image. It is not safe for concurrent use;
+// fault-injection campaigns clone it per run.
+type Memory struct {
+	data    []byte
+	buffers []*Buffer
+	// faults is a small sorted-by-address slice: campaigns inject at most a
+	// handful of faulty words, and a linear scan beats a map at that size.
+	faults []wordFault
+	ecc    ECCMode
+}
+
+// New returns an empty device memory with the paper's SECDED assumption
+// enabled.
+func New() *Memory {
+	return &Memory{ecc: ECCSECDED}
+}
+
+// SetECC selects the ECC model.
+func (m *Memory) SetECC(mode ECCMode) { m.ecc = mode }
+
+// ECC reports the current ECC model.
+func (m *Memory) ECC() ECCMode { return m.ecc }
+
+// Alloc reserves a 128 B aligned buffer of the given byte size.
+func (m *Memory) Alloc(name string, size int, readOnly bool) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: alloc %q: size must be positive, got %d", name, size)
+	}
+	for _, b := range m.buffers {
+		if b.Name == name {
+			return nil, fmt.Errorf("mem: alloc %q: name already in use", name)
+		}
+	}
+	base := arch.Addr(len(m.data))
+	padded := (size + arch.BlockBytes - 1) / arch.BlockBytes * arch.BlockBytes
+	m.data = append(m.data, make([]byte, padded)...)
+	b := &Buffer{
+		ID:       len(m.buffers),
+		Name:     name,
+		Base:     base,
+		Size:     size,
+		ReadOnly: readOnly,
+	}
+	m.buffers = append(m.buffers, b)
+	return b, nil
+}
+
+// Buffers returns the allocated buffers in allocation order. The returned
+// slice must not be modified.
+func (m *Memory) Buffers() []*Buffer { return m.buffers }
+
+// BufferByName looks a buffer up by data-object name.
+func (m *Memory) BufferByName(name string) (*Buffer, bool) {
+	for _, b := range m.buffers {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// BufferAt returns the buffer containing the address, if any.
+func (m *Memory) BufferAt(a arch.Addr) (*Buffer, bool) {
+	for _, b := range m.buffers {
+		if b.Contains(a) {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Size returns the total allocated bytes (padded to blocks).
+func (m *Memory) Size() int { return len(m.data) }
+
+// TotalBlocks returns the number of 128 B blocks allocated.
+func (m *Memory) TotalBlocks() int { return len(m.data) / arch.BlockBytes }
+
+// Clone returns an independent copy sharing no mutable state. Buffer
+// metadata is immutable and therefore shared.
+func (m *Memory) Clone() *Memory {
+	out := &Memory{
+		data:    append([]byte(nil), m.data...),
+		buffers: append([]*Buffer(nil), m.buffers...),
+		faults:  append([]wordFault(nil), m.faults...),
+		ecc:     m.ecc,
+	}
+	return out
+}
+
+// InjectStuckAt records a permanent stuck-at fault: `mask` selects the bits
+// of the 32-bit word at wordAddr, and stuckAtOne chooses the stuck value.
+// Multiple injections to the same word accumulate.
+func (m *Memory) InjectStuckAt(wordAddr arch.Addr, mask uint32, stuckAtOne bool) error {
+	if wordAddr%arch.WordBytes != 0 {
+		return fmt.Errorf("mem: fault address %#x is not word aligned", wordAddr)
+	}
+	if int(wordAddr)+arch.WordBytes > len(m.data) {
+		return fmt.Errorf("mem: fault address %#x beyond memory size %d", wordAddr, len(m.data))
+	}
+	i := sort.Search(len(m.faults), func(i int) bool { return m.faults[i].wordAddr >= wordAddr })
+	if i < len(m.faults) && m.faults[i].wordAddr == wordAddr {
+		if stuckAtOne {
+			m.faults[i].setMask |= mask
+			m.faults[i].clrMask &^= mask
+		} else {
+			m.faults[i].clrMask |= mask
+			m.faults[i].setMask &^= mask
+		}
+		return nil
+	}
+	f := wordFault{wordAddr: wordAddr}
+	if stuckAtOne {
+		f.setMask = mask
+	} else {
+		f.clrMask = mask
+	}
+	m.faults = append(m.faults, wordFault{})
+	copy(m.faults[i+1:], m.faults[i:])
+	m.faults[i] = f
+	return nil
+}
+
+// ClearFaults removes every injected fault.
+func (m *Memory) ClearFaults() { m.faults = m.faults[:0] }
+
+// FaultCount returns the number of faulty words.
+func (m *Memory) FaultCount() int { return len(m.faults) }
+
+// FaultRecord describes one injected stuck-at fault for reports and tests.
+type FaultRecord struct {
+	// WordAddr is the faulty 32-bit word's address.
+	WordAddr arch.Addr
+	// StuckHigh and StuckLow are the bit masks stuck at 1 and 0.
+	StuckHigh, StuckLow uint32
+	// Object names the data object containing the word ("" if none).
+	Object string
+}
+
+// Faults lists the injected faults in address order.
+func (m *Memory) Faults() []FaultRecord {
+	out := make([]FaultRecord, 0, len(m.faults))
+	for _, f := range m.faults {
+		rec := FaultRecord{WordAddr: f.wordAddr, StuckHigh: f.setMask, StuckLow: f.clrMask}
+		if b, ok := m.BufferAt(f.wordAddr); ok {
+			rec.Object = b.Name
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// rawWord reads the stored word without the fault overlay.
+func (m *Memory) rawWord(wordAddr arch.Addr) uint32 {
+	return binary.LittleEndian.Uint32(m.data[wordAddr:])
+}
+
+// ReadWord reads a 32-bit word through the fault overlay and ECC model.
+func (m *Memory) ReadWord(wordAddr arch.Addr) uint32 {
+	raw := binary.LittleEndian.Uint32(m.data[wordAddr:])
+	if len(m.faults) == 0 {
+		return raw
+	}
+	for i := range m.faults {
+		f := &m.faults[i]
+		if f.wordAddr != wordAddr {
+			continue
+		}
+		faulty := (raw | f.setMask) &^ f.clrMask
+		if m.ecc == ECCSECDED {
+			// SECDED corrects a single flipped bit; multi-bit escapes.
+			if flips := bits.OnesCount32(faulty ^ raw); flips <= 1 {
+				return raw
+			}
+		}
+		return faulty
+	}
+	return raw
+}
+
+// WriteWord stores a 32-bit word. Stuck-at faults are permanent: they keep
+// overriding the stored bits on subsequent reads.
+func (m *Memory) WriteWord(wordAddr arch.Addr, v uint32) {
+	binary.LittleEndian.PutUint32(m.data[wordAddr:], v)
+}
+
+// ReadF32 reads a float32 through the fault overlay.
+func (m *Memory) ReadF32(addr arch.Addr) float32 {
+	return math.Float32frombits(m.ReadWord(addr))
+}
+
+// WriteF32 stores a float32.
+func (m *Memory) WriteF32(addr arch.Addr, v float32) {
+	m.WriteWord(addr, math.Float32bits(v))
+}
+
+// ReadI32 reads an int32 through the fault overlay.
+func (m *Memory) ReadI32(addr arch.Addr) int32 { return int32(m.ReadWord(addr)) }
+
+// WriteI32 stores an int32.
+func (m *Memory) WriteI32(addr arch.Addr, v int32) { m.WriteWord(addr, uint32(v)) }
+
+// WriteF32Slice initialises buffer contents from a host slice.
+func (m *Memory) WriteF32Slice(b *Buffer, src []float32) error {
+	if len(src)*4 > b.Size {
+		return fmt.Errorf("mem: %q: %d floats exceed buffer size %d B", b.Name, len(src), b.Size)
+	}
+	for i, v := range src {
+		m.WriteF32(b.ElemAddr(i), v)
+	}
+	return nil
+}
+
+// WriteI32Slice initialises buffer contents from a host slice.
+func (m *Memory) WriteI32Slice(b *Buffer, src []int32) error {
+	if len(src)*4 > b.Size {
+		return fmt.Errorf("mem: %q: %d ints exceed buffer size %d B", b.Name, len(src), b.Size)
+	}
+	for i, v := range src {
+		m.WriteI32(b.ElemAddr(i), v)
+	}
+	return nil
+}
+
+// ReadF32Slice copies the buffer's contents (through the fault overlay) to a
+// host slice of length n.
+func (m *Memory) ReadF32Slice(b *Buffer, n int) []float32 {
+	if n > b.Len4() {
+		n = b.Len4()
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = m.ReadF32(b.ElemAddr(i))
+	}
+	return out
+}
+
+// CopyBuffer copies src's current (fault-free raw) contents into dst. It is
+// used to initialise replica copies.
+func (m *Memory) CopyBuffer(dst, src *Buffer) error {
+	if dst.Size < src.Size {
+		return fmt.Errorf("mem: copy %q→%q: destination %d B < source %d B", src.Name, dst.Name, dst.Size, src.Size)
+	}
+	copy(m.data[dst.Base:int(dst.Base)+src.Size], m.data[src.Base:int(src.Base)+src.Size])
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package metrics implements the per-application output error metrics of
+// Table II: output-vector element deviation for the Polybench applications,
+// normalized root-mean-square error for the AxBench image applications, and
+// misclassification percentage for C-NN — plus the thresholding that turns
+// a metric value into an SDC judgment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind discriminates the error metric of Table II.
+type Kind int
+
+// Metric kinds.
+const (
+	// VectorDeviation: percentage of output vector elements that differ
+	// from the fault-free baseline (Polybench).
+	VectorDeviation Kind = iota + 1
+	// ImageNRMSE: normalized RMSE of the output image vs. the baseline
+	// (AxBench).
+	ImageNRMSE
+	// Misclassification: percentage of classifications that differ from the
+	// baseline labels (C-NN).
+	Misclassification
+)
+
+// String renders the kind as Table II labels it.
+func (k Kind) String() string {
+	switch k {
+	case VectorDeviation:
+		return "vector-deviation%"
+	case ImageNRMSE:
+		return "nrmse"
+	case Misclassification:
+		return "misclassification%"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Metric is one application's output-quality judge.
+type Metric struct {
+	// Kind selects the formula.
+	Kind Kind
+	// Threshold is the SDC cut-off: a run whose metric value exceeds it is
+	// an SDC outcome.
+	Threshold float64
+}
+
+// relTol is the relative tolerance below which two float32 outputs are the
+// same element (allows for benign last-ulp differences).
+const relTol = 1e-5
+
+// elementsDiffer reports whether two output elements meaningfully differ.
+// NaNs and infinities produced by fault propagation always differ.
+func elementsDiffer(got, want float32) bool {
+	g, w := float64(got), float64(want)
+	if math.IsNaN(g) || math.IsInf(g, 0) {
+		return !(math.IsNaN(w) || math.IsInf(w, 0)) || g != w && !(math.IsNaN(g) && math.IsNaN(w))
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return true
+	}
+	diff := math.Abs(g - w)
+	if diff == 0 {
+		return false
+	}
+	scale := math.Max(math.Abs(g), math.Abs(w))
+	if scale < 1e-30 {
+		return diff > 1e-30
+	}
+	return diff/scale > relTol
+}
+
+// DeviationPercent returns the percentage of elements that differ between
+// the outputs (Table II's Polybench metric).
+func DeviationPercent(got, want []float32) (float64, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("metrics: output length %d vs baseline %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		return 0, fmt.Errorf("metrics: empty outputs")
+	}
+	n := 0
+	for i := range want {
+		if elementsDiffer(got[i], want[i]) {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(want)), nil
+}
+
+// NRMSE returns the root-mean-square error normalized by the baseline's
+// value range (Table II's AxBench metric). Non-finite outputs saturate the
+// error at 1.
+func NRMSE(got, want []float32) (float64, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("metrics: output length %d vs baseline %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		return 0, fmt.Errorf("metrics: empty outputs")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	saturated := false
+	for i := range want {
+		w := float64(want[i])
+		g := float64(got[i])
+		lo = math.Min(lo, w)
+		hi = math.Max(hi, w)
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			saturated = true
+			continue
+		}
+		d := g - w
+		sum += d * d
+	}
+	if saturated {
+		return 1, nil
+	}
+	rng := hi - lo
+	if rng <= 0 {
+		rng = 1
+	}
+	return math.Sqrt(sum/float64(len(want))) / rng, nil
+}
+
+// MisclassificationPercent returns the percentage of labels differing from
+// the baseline classification (Table II's C-NN metric).
+func MisclassificationPercent(got, want []float32) (float64, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("metrics: labels %d vs baseline %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		return 0, fmt.Errorf("metrics: empty label vectors")
+	}
+	n := 0
+	for i := range want {
+		if got[i] != want[i] {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(want)), nil
+}
+
+// Value computes the metric for a fault-injected output against the
+// fault-free baseline.
+func (m Metric) Value(got, want []float32) (float64, error) {
+	switch m.Kind {
+	case VectorDeviation:
+		return DeviationPercent(got, want)
+	case ImageNRMSE:
+		return NRMSE(got, want)
+	case Misclassification:
+		return MisclassificationPercent(got, want)
+	default:
+		return 0, fmt.Errorf("metrics: unknown kind %d", int(m.Kind))
+	}
+}
+
+// IsSDC reports whether the output constitutes silent data corruption: the
+// metric value exceeds the application's threshold.
+func (m Metric) IsSDC(got, want []float32) (bool, error) {
+	v, err := m.Value(got, want)
+	if err != nil {
+		return false, err
+	}
+	return v > m.Threshold, nil
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviationPercent(t *testing.T) {
+	tests := []struct {
+		name      string
+		got, want []float32
+		value     float64
+		wantErr   bool
+	}{
+		{"identical", []float32{1, 2, 3, 4}, []float32{1, 2, 3, 4}, 0, false},
+		{"one of four differs", []float32{1, 2, 3, 99}, []float32{1, 2, 3, 4}, 25, false},
+		{"all differ", []float32{9, 9}, []float32{1, 2}, 100, false},
+		{"tiny relative noise ignored", []float32{1.0000001}, []float32{1}, 0, false},
+		{"NaN differs", []float32{float32(math.NaN())}, []float32{1}, 100, false},
+		{"Inf differs", []float32{float32(math.Inf(1))}, []float32{1}, 100, false},
+		{"both NaN same", []float32{float32(math.NaN())}, []float32{float32(math.NaN())}, 0, false},
+		{"length mismatch", []float32{1}, []float32{1, 2}, 0, true},
+		{"empty", nil, nil, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, err := DeviationPercent(tt.got, tt.want)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr=%v", err, tt.wantErr)
+			}
+			if err == nil && v != tt.value {
+				t.Errorf("DeviationPercent = %v, want %v", v, tt.value)
+			}
+		})
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	want := []float32{0, 1, 2, 3}
+	same, err := NRMSE(want, want)
+	if err != nil || same != 0 {
+		t.Fatalf("identical NRMSE = %v err %v, want 0", same, err)
+	}
+	// Uniform +0.3 offset over range 3 → 0.1.
+	got := []float32{0.3, 1.3, 2.3, 3.3}
+	v, err := NRMSE(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.1) > 1e-6 {
+		t.Errorf("NRMSE = %v, want 0.1", v)
+	}
+	// Non-finite output saturates.
+	bad := []float32{float32(math.NaN()), 1, 2, 3}
+	v, err = NRMSE(bad, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("NaN NRMSE = %v, want saturated 1", v)
+	}
+	if _, err := NRMSE([]float32{1}, []float32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestNRMSEConstantBaseline(t *testing.T) {
+	want := []float32{5, 5, 5}
+	got := []float32{5, 5, 6}
+	v, err := NRMSE(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range 0 falls back to 1: NRMSE = sqrt(1/3).
+	if math.Abs(v-math.Sqrt(1.0/3)) > 1e-9 {
+		t.Errorf("NRMSE = %v", v)
+	}
+}
+
+func TestMisclassificationPercent(t *testing.T) {
+	got := []float32{1, 2, 3, 4}
+	want := []float32{1, 2, 9, 4}
+	v, err := MisclassificationPercent(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 25 {
+		t.Errorf("misclassification = %v, want 25", v)
+	}
+	if _, err := MisclassificationPercent(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestMetricIsSDC(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Metric
+		got  []float32
+		want []float32
+		sdc  bool
+	}{
+		{"vector under threshold", Metric{VectorDeviation, 50}, []float32{9, 2}, []float32{1, 2}, false},
+		{"vector over threshold", Metric{VectorDeviation, 0.1}, []float32{9, 2}, []float32{1, 2}, true},
+		{"image under", Metric{ImageNRMSE, 0.2}, []float32{0.3, 1.3, 2.3, 3.3}, []float32{0, 1, 2, 3}, false},
+		{"image over", Metric{ImageNRMSE, 0.05}, []float32{0.3, 1.3, 2.3, 3.3}, []float32{0, 1, 2, 3}, true},
+		{"labels clean", Metric{Misclassification, 0}, []float32{1, 2}, []float32{1, 2}, false},
+		{"labels differ", Metric{Misclassification, 0}, []float32{1, 3}, []float32{1, 2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.m.IsSDC(tt.got, tt.want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.sdc {
+				t.Errorf("IsSDC = %v, want %v", got, tt.sdc)
+			}
+		})
+	}
+	if _, err := (Metric{Kind: Kind(9)}).IsSDC([]float32{1}, []float32{1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestCleanOutputNeverSDC: any output is never an SDC against itself.
+func TestCleanOutputNeverSDC(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, m := range []Metric{
+			{VectorDeviation, 0},
+			{ImageNRMSE, 0},
+			{Misclassification, 0},
+		} {
+			sdc, err := m.IsSDC(vals, vals)
+			if err != nil || sdc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		VectorDeviation:   "vector-deviation%",
+		ImageNRMSE:        "nrmse",
+		Misclassification: "misclassification%",
+		Kind(7):           "kind(7)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

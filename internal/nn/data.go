@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math/rand"
+)
+
+// Dataset is a labelled set of 29×29 images.
+type Dataset struct {
+	// Images hold ImagePixels floats each, in [0,1]-ish range plus noise.
+	Images [][]float32
+	// Labels hold the class of each image.
+	Labels []int
+}
+
+// segment identifies one stroke of the seven-segment digit renderer.
+type segment int
+
+const (
+	segTop segment = iota
+	segTopRight
+	segBottomRight
+	segBottom
+	segBottomLeft
+	segTopLeft
+	segMiddle
+)
+
+// digitSegments maps each digit to its lit segments (classic seven-segment
+// encoding).
+var digitSegments = [Classes][]segment{
+	0: {segTop, segTopRight, segBottomRight, segBottom, segBottomLeft, segTopLeft},
+	1: {segTopRight, segBottomRight},
+	2: {segTop, segTopRight, segMiddle, segBottomLeft, segBottom},
+	3: {segTop, segTopRight, segMiddle, segBottomRight, segBottom},
+	4: {segTopLeft, segMiddle, segTopRight, segBottomRight},
+	5: {segTop, segTopLeft, segMiddle, segBottomRight, segBottom},
+	6: {segTop, segTopLeft, segBottomLeft, segBottom, segBottomRight, segMiddle},
+	7: {segTop, segTopRight, segBottomRight},
+	8: {segTop, segTopRight, segBottomRight, segBottom, segBottomLeft, segTopLeft, segMiddle},
+	9: {segTop, segTopRight, segBottomRight, segBottom, segTopLeft, segMiddle},
+}
+
+// drawSegment lights a stroke (3 px thick) into a 29×29 canvas with the
+// given integer offset. The glyph body spans rows 4..24, columns 8..20.
+func drawSegment(img []float32, s segment, dx, dy int) {
+	const (
+		left, right = 8, 20
+		top, bottom = 4, 24
+		mid         = (top + bottom) / 2
+		thick       = 3
+	)
+	fill := func(x0, y0, x1, y1 int) {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				xx, yy := x+dx, y+dy
+				if xx >= 0 && xx < ImageSide && yy >= 0 && yy < ImageSide {
+					img[yy*ImageSide+xx] = 1
+				}
+			}
+		}
+	}
+	switch s {
+	case segTop:
+		fill(left, top, right, top+thick-1)
+	case segBottom:
+		fill(left, bottom-thick+1, right, bottom)
+	case segMiddle:
+		fill(left, mid-1, right, mid+1)
+	case segTopLeft:
+		fill(left, top, left+thick-1, mid)
+	case segBottomLeft:
+		fill(left, mid, left+thick-1, bottom)
+	case segTopRight:
+		fill(right-thick+1, top, right, mid)
+	case segBottomRight:
+		fill(right-thick+1, mid, right, bottom)
+	}
+}
+
+// RenderDigit draws a clean digit glyph with the given translation.
+func RenderDigit(class, dx, dy int) []float32 {
+	img := make([]float32, ImagePixels)
+	for _, s := range digitSegments[class%Classes] {
+		drawSegment(img, s, dx, dy)
+	}
+	return img
+}
+
+// GenerateDataset produces n images cycling through the ten classes, with
+// per-image random translation (±2 px) and additive Gaussian noise
+// (σ=0.15). The same seed yields the same dataset.
+func GenerateDataset(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := Dataset{
+		Images: make([][]float32, 0, n),
+		Labels: make([]int, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		class := i % Classes
+		dx := rng.Intn(5) - 2
+		dy := rng.Intn(5) - 2
+		img := RenderDigit(class, dx, dy)
+		for p := range img {
+			img[p] += float32(rng.NormFloat64() * 0.15)
+		}
+		ds.Images = append(ds.Images, img)
+		ds.Labels = append(ds.Labels, class)
+	}
+	return ds
+}
+
+// Flatten packs the dataset's images into one contiguous slice — the layout
+// of the Images data object in device memory.
+func (d Dataset) Flatten() []float32 {
+	out := make([]float32, 0, len(d.Images)*ImagePixels)
+	for _, img := range d.Images {
+		out = append(out, img...)
+	}
+	return out
+}

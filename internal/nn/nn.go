@@ -1,0 +1,187 @@
+// Package nn implements the C-NN application's network: the LeNet-style
+// convolutional digit classifier of the CUDA-SDK-era "CNN" benchmark the
+// paper evaluates (29×29 input → 6 conv maps 13×13 → 50 conv maps 5×5 →
+// 100 FC → 10 FC).
+//
+// The paper uses pre-trained MNIST weights, which are not available here;
+// instead the weights are constructed deterministically — fixed edge/blob
+// filters for layer 1, seeded pseudo-random projections for layers 2–3, and
+// a ridge-regression-fitted output layer over a synthetic digit dataset
+// (see data.go). The resulting classifier reaches high accuracy on the
+// synthetic set and, critically for the paper's experiments, degrades into
+// misclassifications when its weight objects are corrupted.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network geometry (matches the benchmark's data-object sizes in Table III).
+const (
+	// ImageSide and ImagePixels describe the 29×29 input.
+	ImageSide   = 29
+	ImagePixels = ImageSide * ImageSide
+	// Layer1Maps×Layer1Side² neurons come from 5×5 stride-2 convolutions.
+	Layer1Maps   = 6
+	Layer1Side   = 13
+	KernelSide   = 5
+	KernelTaps   = KernelSide * KernelSide
+	Layer1Stride = 2
+	// Layer1Weights = maps × (bias + 25 taps).
+	Layer1Weights = Layer1Maps * (1 + KernelTaps) // 156
+	Layer1Neurons = Layer1Maps * Layer1Side * Layer1Side
+
+	// Layer 2: 50 maps of 5×5 from stride-2 5×5 convolutions over the 6
+	// layer-1 maps; 26 weights (bias + 25 taps) per (out, in) map pair.
+	Layer2Maps    = 50
+	Layer2Side    = 5
+	Layer2Weights = Layer2Maps * Layer1Maps * (1 + KernelTaps) // 7800
+	Layer2Neurons = Layer2Maps * Layer2Side * Layer2Side       // 1250
+
+	// Layer 3: fully connected, 100 neurons.
+	Layer3Units   = 100
+	Layer3Weights = Layer3Units * (Layer2Neurons + 1) // 125100
+
+	// Layer 4: fully connected, 10 class outputs.
+	Classes       = 10
+	Layer4Weights = Classes * (Layer3Units + 1) // 1010
+)
+
+// Network holds the four weight objects — the application's input data
+// objects in Table III. Layer1W and Layer2W are the hot objects.
+type Network struct {
+	Layer1W []float32
+	Layer2W []float32
+	Layer3W []float32
+	Layer4W []float32
+}
+
+// activation is the benchmark's scaled tanh.
+func activation(x float32) float32 {
+	return float32(1.7159 * math.Tanh(0.66666667*float64(x)))
+}
+
+// Validate reports whether the weight slices have the expected sizes.
+func (n *Network) Validate() error {
+	if len(n.Layer1W) != Layer1Weights {
+		return fmt.Errorf("nn: layer1 weights = %d, want %d", len(n.Layer1W), Layer1Weights)
+	}
+	if len(n.Layer2W) != Layer2Weights {
+		return fmt.Errorf("nn: layer2 weights = %d, want %d", len(n.Layer2W), Layer2Weights)
+	}
+	if len(n.Layer3W) != Layer3Weights {
+		return fmt.Errorf("nn: layer3 weights = %d, want %d", len(n.Layer3W), Layer3Weights)
+	}
+	if len(n.Layer4W) != Layer4Weights {
+		return fmt.Errorf("nn: layer4 weights = %d, want %d", len(n.Layer4W), Layer4Weights)
+	}
+	return nil
+}
+
+// Layer1Forward computes the first conv layer into out (Layer1Neurons).
+func (n *Network) Layer1Forward(img []float32, out []float32) {
+	for m := 0; m < Layer1Maps; m++ {
+		wb := m * (1 + KernelTaps)
+		bias := n.Layer1W[wb]
+		for py := 0; py < Layer1Side; py++ {
+			for px := 0; px < Layer1Side; px++ {
+				sum := bias
+				wy, wx := py*Layer1Stride, px*Layer1Stride
+				for i := 0; i < KernelTaps; i++ {
+					iy, ix := wy+i/KernelSide, wx+i%KernelSide
+					sum += img[iy*ImageSide+ix] * n.Layer1W[wb+1+i]
+				}
+				out[m*Layer1Side*Layer1Side+py*Layer1Side+px] = activation(sum)
+			}
+		}
+	}
+}
+
+// Layer2Forward computes the second conv layer: in is Layer1Neurons, out is
+// Layer2Neurons.
+func (n *Network) Layer2Forward(in []float32, out []float32) {
+	for o := 0; o < Layer2Maps; o++ {
+		for py := 0; py < Layer2Side; py++ {
+			for px := 0; px < Layer2Side; px++ {
+				var sum float32
+				wy, wx := py*Layer1Stride, px*Layer1Stride
+				for m := 0; m < Layer1Maps; m++ {
+					wb := (o*Layer1Maps + m) * (1 + KernelTaps)
+					sum += n.Layer2W[wb] // per-(out,in) bias contribution
+					base := m * Layer1Side * Layer1Side
+					for i := 0; i < KernelTaps; i++ {
+						iy, ix := wy+i/KernelSide, wx+i%KernelSide
+						sum += in[base+iy*Layer1Side+ix] * n.Layer2W[wb+1+i]
+					}
+				}
+				out[o*Layer2Side*Layer2Side+py*Layer2Side+px] = activation(sum)
+			}
+		}
+	}
+}
+
+// Layer3Forward computes the first FC layer: in is Layer2Neurons, out is
+// Layer3Units.
+func (n *Network) Layer3Forward(in []float32, out []float32) {
+	for u := 0; u < Layer3Units; u++ {
+		wb := u * (Layer2Neurons + 1)
+		sum := n.Layer3W[wb]
+		for i := 0; i < Layer2Neurons; i++ {
+			sum += in[i] * n.Layer3W[wb+1+i]
+		}
+		out[u] = activation(sum)
+	}
+}
+
+// Layer4Forward computes the output layer: in is Layer3Units, out is
+// Classes (linear scores).
+func (n *Network) Layer4Forward(in []float32, out []float32) {
+	for c := 0; c < Classes; c++ {
+		wb := c * (Layer3Units + 1)
+		sum := n.Layer4W[wb]
+		for i := 0; i < Layer3Units; i++ {
+			sum += in[i] * n.Layer4W[wb+1+i]
+		}
+		out[c] = sum
+	}
+}
+
+// Features runs layers 1–3, returning the 100-dimensional feature vector.
+func (n *Network) Features(img []float32) []float32 {
+	l1 := make([]float32, Layer1Neurons)
+	l2 := make([]float32, Layer2Neurons)
+	l3 := make([]float32, Layer3Units)
+	n.Layer1Forward(img, l1)
+	n.Layer2Forward(l1, l2)
+	n.Layer3Forward(l2, l3)
+	return l3
+}
+
+// Infer classifies one image, returning the argmax class.
+func (n *Network) Infer(img []float32) int {
+	l3 := n.Features(img)
+	scores := make([]float32, Classes)
+	n.Layer4Forward(l3, scores)
+	best := 0
+	for c := 1; c < Classes; c++ {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of dataset images classified correctly.
+func (n *Network) Accuracy(ds Dataset) float64 {
+	if len(ds.Images) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, img := range ds.Images {
+		if n.Infer(img) == ds.Labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(ds.Images))
+}

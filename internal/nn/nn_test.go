@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// trained caches one network across tests (construction costs ~a second).
+var (
+	trainedOnce sync.Once
+	trainedNet  *Network
+	trainedErr  error
+)
+
+func trained(t *testing.T) *Network {
+	t.Helper()
+	trainedOnce.Do(func() {
+		trainedNet, trainedErr = Train(TrainConfig{})
+	})
+	if trainedErr != nil {
+		t.Fatalf("Train: %v", trainedErr)
+	}
+	return trainedNet
+}
+
+func TestWeightObjectSizesMatchTableIII(t *testing.T) {
+	n := trained(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot objects (Layer1+Layer2 weights) must be a small fraction of
+	// the total weight footprint, as in Table III.
+	hot := Layer1Weights + Layer2Weights
+	total := hot + Layer3Weights + Layer4Weights
+	if frac := float64(hot) / float64(total); frac > 0.07 {
+		t.Errorf("hot weight fraction = %.3f of weights, want small", frac)
+	}
+	if Layer1Weights != 156 || Layer2Weights != 7800 {
+		t.Errorf("weights = %d/%d, want 156/7800", Layer1Weights, Layer2Weights)
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := GenerateDataset(50, 7)
+	b := GenerateDataset(50, 7)
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across same-seed generations")
+		}
+		for p := range a.Images[i] {
+			if a.Images[i][p] != b.Images[i][p] {
+				t.Fatal("pixels differ across same-seed generations")
+			}
+		}
+	}
+	c := GenerateDataset(50, 8)
+	same := true
+	for p := range a.Images[0] {
+		if a.Images[0][p] != c.Images[0][p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	ds := GenerateDataset(25, 1)
+	if len(ds.Images) != 25 || len(ds.Labels) != 25 {
+		t.Fatalf("dataset size %d/%d, want 25", len(ds.Images), len(ds.Labels))
+	}
+	for i, img := range ds.Images {
+		if len(img) != ImagePixels {
+			t.Fatalf("image %d has %d pixels", i, len(img))
+		}
+		if ds.Labels[i] != i%Classes {
+			t.Fatalf("label %d = %d, want %d", i, ds.Labels[i], i%Classes)
+		}
+	}
+	flat := ds.Flatten()
+	if len(flat) != 25*ImagePixels {
+		t.Fatalf("flatten length %d", len(flat))
+	}
+	if flat[ImagePixels] != ds.Images[1][0] {
+		t.Error("flatten layout wrong")
+	}
+}
+
+func TestRenderDigitsDistinct(t *testing.T) {
+	seen := map[string]int{}
+	for c := 0; c < Classes; c++ {
+		img := RenderDigit(c, 0, 0)
+		key := ""
+		for _, v := range img {
+			if v > 0.5 {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("digits %d and %d render identically", prev, c)
+		}
+		seen[key] = c
+	}
+}
+
+func TestTrainedAccuracy(t *testing.T) {
+	n := trained(t)
+	test := GenerateDataset(200, 99) // unseen seed
+	acc := n.Accuracy(test)
+	if acc < 0.9 {
+		t.Errorf("clean accuracy = %.3f, want ≥0.90", acc)
+	}
+	t.Logf("clean test accuracy: %.3f", acc)
+}
+
+func TestWeightCorruptionCausesMisclassification(t *testing.T) {
+	n := trained(t)
+	test := GenerateDataset(100, 55)
+	clean := n.Accuracy(test)
+
+	// Corrupt a handful of layer-1 weights the way a multi-bit stuck-at
+	// fault in a hot memory block would (large exponent-bit flips).
+	corrupted := &Network{
+		Layer1W: append([]float32(nil), n.Layer1W...),
+		Layer2W: n.Layer2W,
+		Layer3W: n.Layer3W,
+		Layer4W: n.Layer4W,
+	}
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 8; k++ {
+		corrupted.Layer1W[rng.Intn(Layer1Weights)] *= 1e8
+	}
+	bad := corrupted.Accuracy(test)
+	if bad >= clean {
+		t.Errorf("corrupted accuracy %.3f not below clean %.3f", bad, clean)
+	}
+	t.Logf("accuracy clean %.3f → corrupted %.3f", clean, bad)
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(TrainConfig{TrainSamples: 5}); err == nil {
+		t.Error("too-small training set accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	a, err := Train(TrainConfig{TrainSamples: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(TrainConfig{TrainSamples: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Layer4W {
+		if a.Layer4W[i] != b.Layer4W[i] {
+			t.Fatal("same-seed training produced different weights")
+		}
+	}
+}
+
+func TestSolveMulti(t *testing.T) {
+	// 2x2 system with two right-hand sides: A = [[2,1],[1,3]],
+	// B columns (5,10) and (1,0).
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 1, 10, 0}
+	w, err := solveMulti(a, b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solutions: x = A⁻¹b. det = 5. For b1=(5,10): x = (1, 3). For b2=(1,0):
+	// x = (0.6, -0.2).
+	want := []float64{1, 0.6, 3, -0.2}
+	for i := range want {
+		if diff := w[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSolveMultiSingular(t *testing.T) {
+	a := []float64{1, 1, 1, 1}
+	b := []float64{1, 1}
+	if _, err := solveMulti(a, b, 2, 1); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestLayerForwardShapesAndRange(t *testing.T) {
+	n := trained(t)
+	img := RenderDigit(3, 0, 0)
+	l1 := make([]float32, Layer1Neurons)
+	n.Layer1Forward(img, l1)
+	for i, v := range l1 {
+		if v < -1.72 || v > 1.72 {
+			t.Fatalf("l1[%d] = %v outside tanh range", i, v)
+		}
+	}
+	l2 := make([]float32, Layer2Neurons)
+	n.Layer2Forward(l1, l2)
+	l3 := make([]float32, Layer3Units)
+	n.Layer3Forward(l2, l3)
+	out := make([]float32, Classes)
+	n.Layer4Forward(l3, out)
+	// Class 3 should win on its own clean glyph.
+	best := 0
+	for c := range out {
+		if out[c] > out[best] {
+			best = c
+		}
+	}
+	if best != 3 {
+		t.Errorf("clean glyph 3 classified as %d", best)
+	}
+}
+
+func BenchmarkInference(b *testing.B) {
+	n, err := Train(TrainConfig{TrainSamples: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := RenderDigit(5, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Infer(img)
+	}
+}

@@ -1,0 +1,105 @@
+// Package noc models the SM↔L2 interconnect as a crossbar: every SM has an
+// injection port and every memory channel an ingress/egress port; a packet
+// serializes for one cycle on each port it crosses and then experiences the
+// configured traversal latency. This captures the two properties the
+// evaluation depends on — added latency on every L2 access, and per-channel
+// bandwidth that replication traffic must share.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+// Link is a serializing port: one packet per cycle, plus a fixed traversal
+// latency.
+type Link struct {
+	latency  int64
+	nextFree int64
+}
+
+// NewLink builds a link with the given traversal latency in cycles.
+func NewLink(latency int64) Link { return Link{latency: latency} }
+
+// Send schedules a packet entering the link at cycle `now` and returns its
+// delivery time. Packets queue FIFO when the port is busy.
+func (l *Link) Send(now int64) int64 {
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	l.nextFree = start + 1
+	return start + l.latency
+}
+
+// Crossbar connects SM ports to memory-channel ports in both directions.
+type Crossbar struct {
+	smInject  []Link // per SM, request side
+	chIngress []Link // per channel, request side
+	chEgress  []Link // per channel, response side
+	smEject   []Link // per SM, response side
+
+	// Stats count traversals.
+	Stats Stats
+}
+
+// Stats counts crossbar traffic.
+type Stats struct {
+	Requests  uint64
+	Responses uint64
+}
+
+// New builds a crossbar for the configuration. The configured interconnect
+// latency is split evenly across the two hops of each direction.
+func New(cfg arch.Config) (*Crossbar, error) {
+	if cfg.NumSMs <= 0 || cfg.NumMemChannels <= 0 {
+		return nil, fmt.Errorf("noc: need positive SMs (%d) and channels (%d)", cfg.NumSMs, cfg.NumMemChannels)
+	}
+	if cfg.InterconnectLatency < 0 {
+		return nil, fmt.Errorf("noc: negative interconnect latency %d", cfg.InterconnectLatency)
+	}
+	half := int64(cfg.InterconnectLatency) / 2
+	rest := int64(cfg.InterconnectLatency) - half
+	mk := func(n int, lat int64) []Link {
+		ls := make([]Link, n)
+		for i := range ls {
+			ls[i] = NewLink(lat)
+		}
+		return ls
+	}
+	return &Crossbar{
+		smInject:  mk(cfg.NumSMs, half),
+		chIngress: mk(cfg.NumMemChannels, rest),
+		chEgress:  mk(cfg.NumMemChannels, half),
+		smEject:   mk(cfg.NumSMs, rest),
+	}, nil
+}
+
+// RouteRequest sends a request packet from SM sm to channel ch at cycle
+// `now`, returning its arrival time at the L2 bank.
+func (x *Crossbar) RouteRequest(sm, ch int, now int64) (int64, error) {
+	if sm < 0 || sm >= len(x.smInject) {
+		return 0, fmt.Errorf("noc: SM %d out of range [0,%d)", sm, len(x.smInject))
+	}
+	if ch < 0 || ch >= len(x.chIngress) {
+		return 0, fmt.Errorf("noc: channel %d out of range [0,%d)", ch, len(x.chIngress))
+	}
+	x.Stats.Requests++
+	t := x.smInject[sm].Send(now)
+	return x.chIngress[ch].Send(t), nil
+}
+
+// RouteResponse sends a response packet from channel ch back to SM sm at
+// cycle `now`, returning its arrival time at the SM.
+func (x *Crossbar) RouteResponse(ch, sm int, now int64) (int64, error) {
+	if sm < 0 || sm >= len(x.smEject) {
+		return 0, fmt.Errorf("noc: SM %d out of range [0,%d)", sm, len(x.smEject))
+	}
+	if ch < 0 || ch >= len(x.chEgress) {
+		return 0, fmt.Errorf("noc: channel %d out of range [0,%d)", ch, len(x.chEgress))
+	}
+	x.Stats.Responses++
+	t := x.chEgress[ch].Send(now)
+	return x.smEject[sm].Send(t), nil
+}

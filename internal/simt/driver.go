@@ -1,0 +1,102 @@
+package simt
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+)
+
+// Driver executes kernels warp-by-warp against one device memory image.
+// Configure Reader to interpose a protection scheme and Observer to profile
+// accesses; enable Tracing to capture per-warp instruction traces for the
+// timing simulator. The zero Reader reads memory directly.
+type Driver struct {
+	// Mem is the device memory the kernels run against.
+	Mem *mem.Memory
+	// Reader interposes on every lane read; nil reads Mem directly.
+	Reader WordReader
+	// Observer receives every coalesced transaction; nil disables.
+	Observer Observer
+	// Tracing captures per-warp instruction traces when true.
+	Tracing bool
+	// PermissiveOOB makes out-of-bounds lane loads read (wrapped) device
+	// memory instead of aborting the launch — the behaviour of real GPU
+	// global loads whose address was corrupted by a fault: they fetch
+	// whatever the address resolves to. Fault-injection campaigns enable
+	// this so corrupted-index faults propagate to the output (and are
+	// judged by the SDC metric) rather than crashing the run. Clean runs
+	// never go out of bounds, so the mode does not change fault-free
+	// results. Stores remain strict.
+	PermissiveOOB bool
+
+	reader WordReader
+	grid   arch.Dim3
+}
+
+// Run executes the kernel to completion, returning the captured trace when
+// tracing is enabled. A protection-scheme termination (or a kernel bug such
+// as an out-of-bounds access) aborts the launch and is returned as an error.
+func (d *Driver) Run(k *Kernel) (*KernelTrace, error) {
+	if k.Run == nil {
+		return nil, fmt.Errorf("simt: kernel %q has no warp program", k.KernelName)
+	}
+	if k.Grid.X <= 0 || k.Block.X <= 0 {
+		return nil, fmt.Errorf("simt: kernel %q: launch geometry must set grid.X and block.X, got grid=%v block=%v",
+			k.KernelName, k.Grid, k.Block)
+	}
+	d.reader = d.Reader
+	if d.reader == nil {
+		d.reader = directReader{d.Mem}
+	}
+	d.grid = k.Grid
+
+	warpsPerCTA := k.WarpsPerCTA()
+	threadsPerCTA := k.Block.Count()
+	var trace *KernelTrace
+	if d.Tracing {
+		trace = &KernelTrace{
+			Kernel:      k.KernelName,
+			WarpsPerCTA: warpsPerCTA,
+			NumCTAs:     k.Grid.Count(),
+			Warps:       make([][]Instr, k.Grid.Count()*warpsPerCTA),
+		}
+	}
+
+	ctx := &WarpCtx{blockDim: k.Block, drv: d, tracing: d.Tracing}
+	for cz := 0; cz < max(1, k.Grid.Z); cz++ {
+		for cy := 0; cy < max(1, k.Grid.Y); cy++ {
+			for cx := 0; cx < max(1, k.Grid.X); cx++ {
+				ctaIdx := arch.Dim3{X: cx, Y: cy, Z: cz}
+				ctaLinear := k.Grid.Flatten(ctaIdx)
+				for wi := 0; wi < warpsPerCTA; wi++ {
+					lanes := arch.WarpSize
+					if rem := threadsPerCTA - wi*arch.WarpSize; rem < lanes {
+						lanes = rem
+					}
+					ctx.CTAIdx = ctaIdx
+					ctx.WarpInCTA = wi
+					ctx.GlobalWarpID = ctaLinear*warpsPerCTA + wi
+					ctx.NumLanes = lanes
+					ctx.trace = nil
+					k.Run(ctx)
+					if ctx.err != nil {
+						return nil, fmt.Errorf("simt: kernel %q warp %d: %w",
+							k.KernelName, ctx.GlobalWarpID, ctx.err)
+					}
+					if trace != nil {
+						trace.Warps[ctx.GlobalWarpID] = ctx.trace
+					}
+				}
+			}
+		}
+	}
+	return trace, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

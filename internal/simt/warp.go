@@ -1,0 +1,327 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+)
+
+// InactiveLane marks a predicated-off lane in an index slice passed to the
+// warp load/store methods.
+const InactiveLane int32 = -1
+
+// WarpCtx is the execution context of one warp. Kernel warp programs use
+// its load/store/compute methods; all lanes proceed in lockstep. The context
+// carries a sticky error: after a protection scheme signals termination,
+// subsequent operations become no-ops and the driver aborts the launch.
+type WarpCtx struct {
+	// CTAIdx is the CTA (thread block) index within the grid.
+	CTAIdx arch.Dim3
+	// WarpInCTA is the warp's index within its CTA.
+	WarpInCTA int
+	// GlobalWarpID is the warp's dense index within the launch.
+	GlobalWarpID int
+	// NumLanes is the number of active threads (≤32; the tail warp of a CTA
+	// may be partial).
+	NumLanes int
+
+	blockDim arch.Dim3
+	drv      *Driver
+	trace    []Instr
+	tracing  bool
+	err      error
+
+	// scratch reused by the coalescer across instructions.
+	laneBlocks [arch.WarpSize]arch.BlockAddr
+	uniq       []arch.BlockAddr
+
+	// scratch arenas handed to kernel programs.
+	scratchI32 [4][arch.WarpSize]int32
+	scratchF32 [4][arch.WarpSize]float32
+}
+
+// ScratchI32 returns one of four per-warp index slices (length 32) for
+// kernel programs to fill. Contents persist only within the current warp's
+// execution; using the same slot for two concurrently-needed operands is a
+// kernel bug.
+func (w *WarpCtx) ScratchI32(slot int) []int32 { return w.scratchI32[slot][:] }
+
+// ScratchF32 returns one of four per-warp value slices (length 32).
+func (w *WarpCtx) ScratchF32(slot int) []float32 { return w.scratchF32[slot][:] }
+
+// ThreadIdx returns the CUDA threadIdx for the given lane.
+func (w *WarpCtx) ThreadIdx(lane int) arch.Dim3 {
+	linear := w.WarpInCTA*arch.WarpSize + lane
+	x := w.blockDim.X
+	if x == 0 {
+		x = 1
+	}
+	y := w.blockDim.Y
+	if y == 0 {
+		y = 1
+	}
+	return arch.Dim3{X: linear % x, Y: (linear / x) % y, Z: linear / (x * y)}
+}
+
+// LinearThreadID returns the global linear thread ID of the lane, with CTAs
+// laid out grid-x-major as CUDA does for 1-D launches.
+func (w *WarpCtx) LinearThreadID(lane int) int {
+	ctaLinear := w.drv.grid.Flatten(w.CTAIdx)
+	return ctaLinear*w.blockDim.Count() + w.WarpInCTA*arch.WarpSize + lane
+}
+
+// Err returns the warp's sticky error, if any.
+func (w *WarpCtx) Err() error { return w.err }
+
+func (w *WarpCtx) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Compute accounts n back-to-back ALU operations executed by the warp.
+func (w *WarpCtx) Compute(n int) {
+	if w.err != nil || n <= 0 {
+		return
+	}
+	if w.tracing {
+		// Merge with a preceding compute to keep traces compact.
+		if k := len(w.trace); k > 0 && w.trace[k-1].Kind == InstrCompute {
+			w.trace[k-1].Ops += int32(n)
+			return
+		}
+		w.trace = append(w.trace, Instr{Kind: InstrCompute, Ops: int32(n)})
+	}
+}
+
+// coalesce computes the unique 128 B blocks touched by nAddr lane addresses
+// in laneBlocks[:nAddr], preserving first-touch order. The result aliases
+// w.uniq and is valid until the next call.
+func (w *WarpCtx) coalesce(n int) []arch.BlockAddr {
+	w.uniq = w.uniq[:0]
+	for i := 0; i < n; i++ {
+		b := w.laneBlocks[i]
+		seen := false
+		for _, u := range w.uniq {
+			if u == b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			w.uniq = append(w.uniq, b)
+		}
+	}
+	return w.uniq
+}
+
+// emitMem records the coalesced transactions of one memory instruction to
+// the observer and (when tracing) the warp trace.
+func (w *WarpCtx) emitMem(kind InstrKind, site Site, buf *mem.Buffer, blocks []arch.BlockAddr) {
+	if obs := w.drv.Observer; obs != nil {
+		for _, b := range blocks {
+			obs.Observe(Transaction{
+				Block:  b,
+				PC:     site.PC,
+				BufID:  int16(buf.ID),
+				WarpID: w.GlobalWarpID,
+				Write:  kind == InstrStore,
+			})
+		}
+	}
+	if w.tracing {
+		w.trace = append(w.trace, Instr{
+			Kind:   kind,
+			PC:     site.PC,
+			BufID:  int16(buf.ID),
+			Blocks: append([]arch.BlockAddr(nil), blocks...),
+		})
+	}
+}
+
+// oobWord resolves an out-of-bounds lane load in permissive mode: the
+// faulty address wraps into the device address space and the raw word there
+// is returned, as hardware would fetch whatever line the corrupted address
+// names.
+func (w *WarpCtx) oobWord(buf *mem.Buffer, idx int32) (uint32, arch.BlockAddr) {
+	size := int64(w.drv.Mem.Size())
+	off := (int64(buf.Base) + int64(idx)*4) % size
+	if off < 0 {
+		off += size
+	}
+	off &^= 3
+	addr := arch.Addr(off)
+	return w.drv.Mem.ReadWord(addr), addr.Block()
+}
+
+// LoadF32 performs a per-lane gather from buf: dst[lane] = buf[idx[lane]]
+// for each active lane. idx and dst must have length ≥ NumLanes; lanes with
+// idx[lane] == InactiveLane are predicated off. The load is coalesced into
+// block transactions exactly once regardless of observers.
+func (w *WarpCtx) LoadF32(site Site, buf *mem.Buffer, idx []int32, dst []float32) {
+	if w.err != nil {
+		return
+	}
+	n := 0
+	for lane := 0; lane < w.NumLanes; lane++ {
+		i := idx[lane]
+		if i == InactiveLane {
+			continue
+		}
+		addr := buf.ElemAddr(int(i))
+		if i < 0 || !buf.Contains(addr) {
+			if !w.drv.PermissiveOOB {
+				w.fail(fmt.Errorf("simt: warp %d %s: lane %d index %d out of bounds for %q (%d B)",
+					w.GlobalWarpID, site.Name, lane, i, buf.Name, buf.Size))
+				return
+			}
+			word, blk := w.oobWord(buf, i)
+			dst[lane] = math.Float32frombits(word)
+			w.laneBlocks[n] = blk
+			n++
+			continue
+		}
+		word, err := w.drv.reader.ReadLaneWord(buf, addr)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		dst[lane] = math.Float32frombits(word)
+		w.laneBlocks[n] = addr.Block()
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	w.emitMem(InstrLoad, site, buf, w.coalesce(n))
+}
+
+// LoadI32 is LoadF32 for int32 data.
+func (w *WarpCtx) LoadI32(site Site, buf *mem.Buffer, idx []int32, dst []int32) {
+	if w.err != nil {
+		return
+	}
+	n := 0
+	for lane := 0; lane < w.NumLanes; lane++ {
+		i := idx[lane]
+		if i == InactiveLane {
+			continue
+		}
+		addr := buf.ElemAddr(int(i))
+		if i < 0 || !buf.Contains(addr) {
+			if !w.drv.PermissiveOOB {
+				w.fail(fmt.Errorf("simt: warp %d %s: lane %d index %d out of bounds for %q (%d B)",
+					w.GlobalWarpID, site.Name, lane, i, buf.Name, buf.Size))
+				return
+			}
+			word, blk := w.oobWord(buf, i)
+			dst[lane] = int32(word)
+			w.laneBlocks[n] = blk
+			n++
+			continue
+		}
+		word, err := w.drv.reader.ReadLaneWord(buf, addr)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		dst[lane] = int32(word)
+		w.laneBlocks[n] = addr.Block()
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	w.emitMem(InstrLoad, site, buf, w.coalesce(n))
+}
+
+// LoadF32Broadcast reads one element on behalf of the whole warp — the
+// uniform-access pattern (e.g. r[i] inside the P-BICG loop, or the filter
+// scalars in the AxBench kernels). It coalesces to a single transaction.
+func (w *WarpCtx) LoadF32Broadcast(site Site, buf *mem.Buffer, idx int32) float32 {
+	if w.err != nil {
+		return 0
+	}
+	addr := buf.ElemAddr(int(idx))
+	if idx < 0 || !buf.Contains(addr) {
+		if !w.drv.PermissiveOOB {
+			w.fail(fmt.Errorf("simt: warp %d %s: broadcast index %d out of bounds for %q (%d B)",
+				w.GlobalWarpID, site.Name, idx, buf.Name, buf.Size))
+			return 0
+		}
+		word, blk := w.oobWord(buf, idx)
+		w.laneBlocks[0] = blk
+		w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+		return math.Float32frombits(word)
+	}
+	word, err := w.drv.reader.ReadLaneWord(buf, addr)
+	if err != nil {
+		w.fail(err)
+		return 0
+	}
+	w.laneBlocks[0] = addr.Block()
+	w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+	return math.Float32frombits(word)
+}
+
+// LoadI32Broadcast is LoadF32Broadcast for int32 data.
+func (w *WarpCtx) LoadI32Broadcast(site Site, buf *mem.Buffer, idx int32) int32 {
+	if w.err != nil {
+		return 0
+	}
+	addr := buf.ElemAddr(int(idx))
+	if idx < 0 || !buf.Contains(addr) {
+		if !w.drv.PermissiveOOB {
+			w.fail(fmt.Errorf("simt: warp %d %s: broadcast index %d out of bounds for %q (%d B)",
+				w.GlobalWarpID, site.Name, idx, buf.Name, buf.Size))
+			return 0
+		}
+		word, blk := w.oobWord(buf, idx)
+		w.laneBlocks[0] = blk
+		w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+		return int32(word)
+	}
+	word, err := w.drv.reader.ReadLaneWord(buf, addr)
+	if err != nil {
+		w.fail(err)
+		return 0
+	}
+	w.laneBlocks[0] = addr.Block()
+	w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+	return int32(word)
+}
+
+// StoreF32 performs a per-lane scatter: buf[idx[lane]] = src[lane]. Stores
+// bypass protection (hot data objects are read-only) and write device
+// memory directly.
+func (w *WarpCtx) StoreF32(site Site, buf *mem.Buffer, idx []int32, src []float32) {
+	if w.err != nil {
+		return
+	}
+	if buf.ReadOnly {
+		w.fail(fmt.Errorf("simt: warp %d %s: store to read-only object %q", w.GlobalWarpID, site.Name, buf.Name))
+		return
+	}
+	n := 0
+	for lane := 0; lane < w.NumLanes; lane++ {
+		i := idx[lane]
+		if i == InactiveLane {
+			continue
+		}
+		addr := buf.ElemAddr(int(i))
+		if !buf.Contains(addr) {
+			w.fail(fmt.Errorf("simt: warp %d %s: lane %d index %d out of bounds for %q (%d B)",
+				w.GlobalWarpID, site.Name, lane, i, buf.Name, buf.Size))
+			return
+		}
+		w.drv.Mem.WriteF32(addr, src[lane])
+		w.laneBlocks[n] = addr.Block()
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	w.emitMem(InstrStore, site, buf, w.coalesce(n))
+}

@@ -1,0 +1,543 @@
+package timing
+
+import (
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/cache"
+	"github.com/datacentric-gpu/dcrm/internal/dram"
+	"github.com/datacentric-gpu/dcrm/internal/noc"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// l2bank is one channel's L2 slice plus its (unbounded, merging) miss
+// tracking: waiters maps an in-flight block to the SMs awaiting it.
+type l2bank struct {
+	c          *cache.Cache
+	portFreeAt int64
+	waiters    map[arch.BlockAddr][]int
+}
+
+// Engine is the timing simulator. Build one with New, then replay kernel
+// traces with RunKernel; L2 and DRAM state persist across kernels of the
+// same application while L1s are invalidated at kernel boundaries. Not safe
+// for concurrent use.
+type Engine struct {
+	cfg arch.Config
+	// Policy selects the warp scheduler (default GTO).
+	Policy SchedulerPolicy
+	// CompareBufferSize overrides the pending-comparison buffer entries
+	// (default CompareBufferEntries); used by the sizing ablation.
+	CompareBufferSize int
+	// TrackBlockMisses enables the per-block L1-miss histogram used to
+	// weight Fig. 9's fault injection.
+	TrackBlockMisses bool
+
+	blockMisses map[arch.BlockAddr]uint64
+
+	plan  ProtectionPlan
+	xbar  *noc.Crossbar
+	banks []*l2bank
+	drams []*dram.Controller
+	sms   []*smState
+
+	sched scheduler
+	now   int64
+
+	groups      map[uint64]*copyGroup
+	nextGroupID uint64
+	dramPumpAt  []int64
+
+	// Per-kernel bookkeeping.
+	trace        *simt.KernelTrace
+	ctaQueue     []int
+	warpsPerCTA  int
+	maxCTAsPerSM int
+	ctaLiveWarps map[int]int
+	liveWarps    int
+	copyTx       uint64
+	mshrStalls   uint64
+	cmpStalls    uint64
+}
+
+// New builds an engine for the configuration. plan may be nil (baseline, no
+// protection).
+func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("timing: %w", err)
+	}
+	xbar, err := noc.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("timing: %w", err)
+	}
+	e := &Engine{
+		cfg:               cfg,
+		Policy:            GTO,
+		CompareBufferSize: CompareBufferEntries,
+		plan:              plan,
+		xbar:              xbar,
+		groups:            make(map[uint64]*copyGroup),
+		dramPumpAt:        make([]int64, cfg.NumMemChannels),
+		blockMisses:       make(map[arch.BlockAddr]uint64),
+	}
+	for ch := 0; ch < cfg.NumMemChannels; ch++ {
+		c, err := cache.New(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("timing: L2 bank %d: %w", ch, err)
+		}
+		e.banks = append(e.banks, &l2bank{c: c, waiters: make(map[arch.BlockAddr][]int)})
+		ctl, err := dram.NewController(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("timing: DRAM channel %d: %w", ch, err)
+		}
+		e.drams = append(e.drams, ctl)
+		e.dramPumpAt[ch] = -1
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		l1, err := cache.New(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("timing: L1 %d: %w", i, err)
+		}
+		mshr, err := cache.NewMSHR(cfg.L1MSHRs)
+		if err != nil {
+			return nil, fmt.Errorf("timing: MSHR %d: %w", i, err)
+		}
+		e.sms = append(e.sms, &smState{id: i, engine: e, l1: l1, mshr: mshr, lastIssued: -1, stepScheduledAt: -1})
+	}
+	return e, nil
+}
+
+// RunKernel replays one kernel trace to completion and returns its stats.
+func (e *Engine) RunKernel(tr *simt.KernelTrace) (KernelStats, error) {
+	if tr == nil || len(tr.Warps) == 0 {
+		return KernelStats{}, fmt.Errorf("timing: empty trace")
+	}
+	e.resetForKernel(tr)
+	start := e.now
+
+	for _, s := range e.sms {
+		e.dispatchTo(s)
+		e.scheduleStep(s, e.now)
+	}
+	for !e.sched.empty() {
+		ev := e.sched.pop()
+		if ev.at < e.now {
+			return KernelStats{}, fmt.Errorf("timing: time ran backwards: %d < %d", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.fn(e.now)
+	}
+	if e.liveWarps != 0 {
+		return KernelStats{}, fmt.Errorf("timing: kernel %q deadlocked with %d live warps", tr.Kernel, e.liveWarps)
+	}
+	return e.collectStats(tr.Kernel, e.now-start), nil
+}
+
+// RunApp replays an application's kernels back-to-back (L1s invalidated at
+// each boundary, L2/DRAM state persists).
+func (e *Engine) RunApp(app string, traces []*simt.KernelTrace) (AppStats, error) {
+	out := AppStats{App: app}
+	for _, tr := range traces {
+		ks, err := e.RunKernel(tr)
+		if err != nil {
+			return AppStats{}, fmt.Errorf("timing: app %s: %w", app, err)
+		}
+		out.Kernels = append(out.Kernels, ks)
+	}
+	return out, nil
+}
+
+func (e *Engine) resetForKernel(tr *simt.KernelTrace) {
+	e.trace = tr
+	e.warpsPerCTA = tr.WarpsPerCTA
+	e.ctaQueue = e.ctaQueue[:0]
+	for c := 0; c < tr.NumCTAs; c++ {
+		e.ctaQueue = append(e.ctaQueue, c)
+	}
+	e.maxCTAsPerSM = e.cfg.MaxCTAsPerSM
+	if byWarps := e.cfg.MaxWarpsPerSM / tr.WarpsPerCTA; byWarps < e.maxCTAsPerSM {
+		e.maxCTAsPerSM = byWarps
+	}
+	if e.maxCTAsPerSM < 1 {
+		e.maxCTAsPerSM = 1
+	}
+	e.ctaLiveWarps = make(map[int]int, tr.NumCTAs)
+	e.liveWarps = 0
+	e.copyTx, e.mshrStalls, e.cmpStalls = 0, 0, 0
+	e.xbar.Stats = noc.Stats{}
+	for _, b := range e.banks {
+		b.c.ResetStats()
+	}
+	for _, d := range e.drams {
+		d.ResetStats()
+	}
+	for _, s := range e.sms {
+		s.l1.InvalidateAll()
+		s.l1.ResetStats()
+		s.mshr.Reset()
+		s.warps = s.warps[:0]
+		s.lastIssued = -1
+		s.portFreeAt = e.now
+		s.compareInUse = 0
+		s.residentCTAs = 0
+		s.stepScheduledAt = -1
+		s.instructions = 0
+	}
+}
+
+func (e *Engine) collectStats(kernel string, cycles int64) KernelStats {
+	ks := KernelStats{
+		Kernel:           kernel,
+		Cycles:           cycles,
+		NoC:              e.xbar.Stats,
+		CopyTransactions: e.copyTx,
+		MSHRStalls:       e.mshrStalls,
+		CompareStalls:    e.cmpStalls,
+	}
+	add := func(dst *cache.Stats, src cache.Stats) {
+		dst.Reads += src.Reads
+		dst.ReadMisses += src.ReadMisses
+		dst.Writes += src.Writes
+		dst.WriteMisses += src.WriteMisses
+		dst.Fills += src.Fills
+		dst.Evictions += src.Evictions
+		dst.DirtyEvictions += src.DirtyEvictions
+	}
+	for _, s := range e.sms {
+		add(&ks.L1, s.l1.Stats)
+		ks.Instructions += s.instructions
+	}
+	for _, b := range e.banks {
+		add(&ks.L2, b.c.Stats)
+	}
+	for _, d := range e.drams {
+		ks.DRAM.RowHits += d.Stats.RowHits
+		ks.DRAM.RowMisses += d.Stats.RowMisses
+		ks.DRAM.RowEmpty += d.Stats.RowEmpty
+		ks.DRAM.Served += d.Stats.Served
+		ks.DRAM.TotalLatency += d.Stats.TotalLatency
+	}
+	return ks
+}
+
+// BlockMisses returns the per-block L1-miss histogram accumulated across
+// every kernel run with TrackBlockMisses enabled. The returned map is live;
+// callers must not mutate it.
+func (e *Engine) BlockMisses() map[arch.BlockAddr]uint64 { return e.blockMisses }
+
+// dispatchTo fills an SM with CTAs up to its occupancy limit.
+func (e *Engine) dispatchTo(s *smState) {
+	for s.residentCTAs < e.maxCTAsPerSM && len(e.ctaQueue) > 0 {
+		cta := e.ctaQueue[0]
+		e.ctaQueue = e.ctaQueue[1:]
+		s.residentCTAs++
+		live := 0
+		for wi := 0; wi < e.warpsPerCTA; wi++ {
+			trace := e.trace.Warps[cta*e.warpsPerCTA+wi]
+			w := &warpState{trace: trace, age: s.ageCounter, cta: cta, readyAt: e.now}
+			s.ageCounter++
+			if len(trace) == 0 {
+				w.retired = true
+			} else {
+				s.warps = append(s.warps, w)
+				live++
+			}
+		}
+		e.ctaLiveWarps[cta] = live
+		e.liveWarps += live
+		if live == 0 {
+			s.residentCTAs--
+			delete(e.ctaLiveWarps, cta)
+		}
+	}
+}
+
+// warpRetired accounts a warp's retirement and recycles its CTA slot.
+func (e *Engine) warpRetired(s *smState, w *warpState) {
+	e.liveWarps--
+	e.ctaLiveWarps[w.cta]--
+	if e.ctaLiveWarps[w.cta] > 0 {
+		return
+	}
+	delete(e.ctaLiveWarps, w.cta)
+	s.residentCTAs--
+	// Drop the CTA's warps from the resident set.
+	kept := s.warps[:0]
+	for _, rw := range s.warps {
+		if rw.cta != w.cta {
+			kept = append(kept, rw)
+		}
+	}
+	s.warps = kept
+	s.lastIssued = -1
+	e.dispatchTo(s)
+	e.wakeSM(s, e.now)
+}
+
+// scheduleStep arranges for the SM's issue loop to run at cycle `at`,
+// deduplicating against an already-pending earlier step.
+func (e *Engine) scheduleStep(s *smState, at int64) {
+	if at < e.now {
+		at = e.now
+	}
+	if s.stepScheduledAt >= 0 && s.stepScheduledAt <= at {
+		return
+	}
+	s.stepScheduledAt = at
+	// The closure only runs when it is still the SM's current step event:
+	// superseded (stale) events die silently, which keeps the event count
+	// linear in useful work. The marker always names exactly one live
+	// event, so no wake-up is ever lost.
+	e.sched.schedule(at, func(now int64) {
+		if s.stepScheduledAt == now {
+			s.step(now)
+		}
+	})
+}
+
+// wakeSM nudges the SM's issue loop at the current cycle, unblocking any
+// warps parked on a structural stall (MSHR or compare buffer full): wake
+// moments are exactly the resource-release moments.
+func (e *Engine) wakeSM(s *smState, now int64) {
+	for _, w := range s.warps {
+		if w.readyAt >= stallParked {
+			w.readyAt = now
+		}
+	}
+	e.scheduleStep(s, now)
+}
+
+// issueLoad issues (or resumes) a load instruction's coalesced transactions
+// at cycle t. It charges one LD/ST port cycle per transaction, including
+// replica-copy transactions.
+func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
+	if w.curLoad == nil {
+		w.pendingLoads++
+		w.curLoad = &loadOp{warp: w, remaining: len(in.Blocks), sm: s}
+		s.instructions++
+	}
+	op := w.curLoad
+	used := int64(0)
+	for w.txIndex < len(in.Blocks) {
+		blk := in.Blocks[w.txIndex]
+		at := t + used
+		copies := 1
+		if e.plan != nil {
+			copies = e.plan.Copies(in.PC, in.BufID)
+		}
+
+		if s.l1.Probe(blk) {
+			// L1 hit: normal operation, no replication (Section IV-B1).
+			s.l1.Read(blk)
+			g := &copyGroup{op: op, total: 1, needed: 1}
+			e.sched.schedule(at+int64(e.cfg.L1HitLatency), func(now int64) { g.arrive(now, s) })
+			used++
+			w.txIndex++
+			continue
+		}
+
+		// L1 miss: count the misses we are about to take (primary plus any
+		// replica copies not resident) and check structural resources.
+		missing := 1
+		for c := 1; c < copies; c++ {
+			if !s.l1.Probe(e.plan.ReplicaBlock(in.BufID, blk, c)) {
+				missing++
+			}
+		}
+		if copies > 1 && s.compareInUse >= e.CompareBufferSize {
+			e.cmpStalls++
+			e.stallRetry(s, w, t, used)
+			return
+		}
+		if s.mshr.Capacity()-s.mshr.InUse() < missing {
+			e.mshrStalls++
+			e.stallRetry(s, w, t, used)
+			return
+		}
+
+		needed := copies
+		if copies == 1 || (e.plan != nil && e.plan.Lazy()) {
+			needed = 1
+		}
+		g := &copyGroup{op: op, total: copies, needed: needed, protected: copies > 1}
+		if g.protected {
+			s.compareInUse++
+			e.copyTx += uint64(copies - 1)
+		}
+		for c := 0; c < copies; c++ {
+			cb := blk
+			if c > 0 {
+				cb = e.plan.ReplicaBlock(in.BufID, blk, c)
+			}
+			txAt := t + used
+			used++ // each copy transaction consumes an LD/ST port cycle
+			if s.l1.Read(cb) {
+				// This copy is resident in L1.
+				e.sched.schedule(txAt+int64(e.cfg.L1HitLatency), func(now int64) { g.arrive(now, s) })
+				continue
+			}
+			if e.TrackBlockMisses {
+				e.blockMisses[cb]++
+			}
+			id := e.nextGroupID
+			e.nextGroupID++
+			e.groups[id] = g
+			switch s.mshr.Allocate(cb, id) {
+			case cache.MSHRNew:
+				e.sendToL2(s, cb, txAt, false)
+			case cache.MSHRMerged:
+				// An earlier miss to this block is in flight; we ride it.
+			case cache.MSHRFull:
+				// Cannot happen: headroom was checked above.
+				delete(e.groups, id)
+			}
+		}
+		w.txIndex++
+	}
+	s.portFreeAt = t + maxI64(used, 1)
+	w.readyAt = s.portFreeAt
+	w.curLoad = nil
+	s.finishInstr(w)
+}
+
+// stallRetry charges the port for the work done so far and parks the warp
+// until a resource-release wake (wakeSM) clears the sentinel. A structural
+// stall implies outstanding fills, so a wake always follows — polling on a
+// timer would multiply events without making progress.
+func (e *Engine) stallRetry(s *smState, w *warpState, t, used int64) {
+	s.portFreeAt = t + maxI64(used, 1)
+	w.readyAt = stallParked
+}
+
+// issueStore forwards a store's transactions write-through to L2, returning
+// the port cycles consumed.
+func (e *Engine) issueStore(s *smState, in *simt.Instr, t int64) int64 {
+	for i, blk := range in.Blocks {
+		s.l1.Write(blk)
+		e.sendToL2(s, blk, t+int64(i), true)
+	}
+	return int64(len(in.Blocks))
+}
+
+// sendToL2 routes a request over the crossbar and schedules the bank access.
+func (e *Engine) sendToL2(s *smState, blk arch.BlockAddr, t int64, write bool) {
+	ch := e.cfg.ChannelOf(blk)
+	arrive, err := e.xbar.RouteRequest(s.id, ch, t)
+	if err != nil {
+		// Unreachable by construction: SM and channel ids are in range.
+		return
+	}
+	e.sched.schedule(arrive, func(now int64) { e.l2Access(s.id, ch, blk, now, write) })
+}
+
+// l2Access performs the bank lookup, serialized on the bank port.
+func (e *Engine) l2Access(smID, ch int, blk arch.BlockAddr, now int64, write bool) {
+	b := e.banks[ch]
+	st := now
+	if b.portFreeAt > st {
+		st = b.portFreeAt
+	}
+	b.portFreeAt = st + 1
+	hitLat := int64(e.cfg.L2HitLatency)
+
+	if write {
+		if !b.c.Write(blk) {
+			// No-write-allocate: miss goes to DRAM.
+			e.drams[ch].Enqueue(dram.Request{Block: blk, Write: true}, st+hitLat)
+			e.pumpDRAM(ch, st+hitLat)
+		}
+		return
+	}
+
+	if b.c.Read(blk) {
+		e.respond(ch, smID, blk, st+hitLat)
+		return
+	}
+	// Miss: merge on an outstanding fill if one exists.
+	if ws, ok := b.waiters[blk]; ok {
+		b.waiters[blk] = append(ws, smID)
+		return
+	}
+	b.waiters[blk] = []int{smID}
+	e.drams[ch].Enqueue(dram.Request{Block: blk}, st+hitLat)
+	e.pumpDRAM(ch, st+hitLat)
+}
+
+// respond routes a fill back to the SM.
+func (e *Engine) respond(ch, smID int, blk arch.BlockAddr, t int64) {
+	arrive, err := e.xbar.RouteResponse(ch, smID, t)
+	if err != nil {
+		return
+	}
+	s := e.sms[smID]
+	e.sched.schedule(arrive, func(now int64) { e.smReceive(s, blk, now) })
+}
+
+// smReceive fills L1 and completes every waiter of the returned block.
+func (e *Engine) smReceive(s *smState, blk arch.BlockAddr, now int64) {
+	s.l1.Fill(blk)
+	for _, id := range s.mshr.Complete(blk) {
+		g, ok := e.groups[id]
+		if !ok {
+			continue
+		}
+		g.arrive(now, s)
+		if g.arrived >= g.total {
+			delete(e.groups, id)
+		}
+	}
+	// The MSHR entry just freed may unblock a parked warp even if no load
+	// completed.
+	e.wakeSM(s, now)
+}
+
+// pumpDRAM advances the channel's controller and schedules completions and
+// the next scheduling opportunity.
+func (e *Engine) pumpDRAM(ch int, now int64) {
+	ctl := e.drams[ch]
+	for _, comp := range ctl.Advance(now) {
+		c := comp
+		e.sched.schedule(c.At, func(at int64) { e.dramComplete(ch, c, at) })
+	}
+	if ctl.QueueLen() == 0 {
+		return
+	}
+	next := ctl.NextStartTime()
+	if next <= now {
+		next = now + 1
+	}
+	if e.dramPumpAt[ch] >= 0 && e.dramPumpAt[ch] <= next {
+		return
+	}
+	e.dramPumpAt[ch] = next
+	e.sched.schedule(next, func(at int64) {
+		if e.dramPumpAt[ch] == at {
+			e.dramPumpAt[ch] = -1
+			e.pumpDRAM(ch, at)
+		}
+	})
+}
+
+// dramComplete fills L2 and fans the data out to waiting SMs.
+func (e *Engine) dramComplete(ch int, comp dram.Completion, now int64) {
+	defer e.pumpDRAM(ch, now)
+	if comp.Req.Write {
+		return
+	}
+	b := e.banks[ch]
+	if ev, had := b.c.Fill(comp.Req.Block); had && ev.Dirty {
+		// Dirty victim: write back to DRAM.
+		e.drams[ch].Enqueue(dram.Request{Block: ev.Block, Write: true}, now)
+	}
+	for _, smID := range b.waiters[comp.Req.Block] {
+		e.respond(ch, smID, comp.Req.Block, now)
+	}
+	delete(b.waiters, comp.Req.Block)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

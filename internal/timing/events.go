@@ -1,0 +1,56 @@
+// Package timing is the cycle-level GPU timing simulator. It replays the
+// per-warp instruction traces captured by internal/simt through a model of
+// the full memory path — per-SM L1 caches with MSHRs, a crossbar, banked L2,
+// and FR-FCFS DRAM controllers — under greedy-then-oldest warp scheduling,
+// and reports cycles and per-level traffic. The replication schemes hook in
+// through a ProtectionPlan: protected loads that miss in L1 fan out into
+// copy transactions, complete lazily (detection) or after all copies arrive
+// (correction), and occupy entries of the bounded pending-compare buffer.
+package timing
+
+import "container/heap"
+
+// event is one scheduled action.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func(now int64)
+}
+
+// eventHeap is a min-heap on (at, seq); seq breaks ties deterministically in
+// scheduling order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with a monotonic sequence counter.
+type scheduler struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (s *scheduler) schedule(at int64, fn func(now int64)) {
+	heap.Push(&s.h, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+func (s *scheduler) empty() bool { return len(s.h) == 0 }
+
+func (s *scheduler) pop() event { return heap.Pop(&s.h).(event) }

@@ -1,0 +1,422 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// testPlan protects buffer 0 with the given number of copies.
+type testPlan struct {
+	copies int
+	lazy   bool
+	offset arch.BlockAddr // replica address stride
+}
+
+func (p testPlan) Copies(_ uint16, bufID int16) int {
+	if bufID == 0 {
+		return p.copies
+	}
+	return 1
+}
+
+func (p testPlan) ReplicaBlock(_ int16, primary arch.BlockAddr, copy int) arch.BlockAddr {
+	return primary + p.offset*arch.BlockAddr(copy)
+}
+
+func (p testPlan) Lazy() bool { return p.lazy }
+
+func load(pc uint16, buf int16, blocks ...arch.BlockAddr) simt.Instr {
+	return simt.Instr{Kind: simt.InstrLoad, PC: pc, BufID: buf, Blocks: blocks}
+}
+
+func compute(n int32) simt.Instr { return simt.Instr{Kind: simt.InstrCompute, Ops: n} }
+
+func store(pc uint16, buf int16, blocks ...arch.BlockAddr) simt.Instr {
+	return simt.Instr{Kind: simt.InstrStore, PC: pc, BufID: buf, Blocks: blocks}
+}
+
+func mkTrace(warpsPerCTA int, warps ...[]simt.Instr) *simt.KernelTrace {
+	if len(warps)%warpsPerCTA != 0 {
+		panic("warps not divisible by warpsPerCTA")
+	}
+	return &simt.KernelTrace{
+		Kernel:      "test",
+		WarpsPerCTA: warpsPerCTA,
+		NumCTAs:     len(warps) / warpsPerCTA,
+		Warps:       warps,
+	}
+}
+
+func run(t *testing.T, plan ProtectionPlan, tr *simt.KernelTrace) KernelStats {
+	t.Helper()
+	e, err := New(arch.Default(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := e.RunKernel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestSingleLoadMissRoundTrip(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})
+	ks := run(t, nil, tr)
+	if ks.L1.ReadMisses != 1 {
+		t.Errorf("L1 misses = %d, want 1", ks.L1.ReadMisses)
+	}
+	if ks.L2.ReadMisses != 1 {
+		t.Errorf("L2 misses = %d, want 1", ks.L2.ReadMisses)
+	}
+	if ks.DRAM.Served != 1 {
+		t.Errorf("DRAM served = %d, want 1", ks.DRAM.Served)
+	}
+	// Round trip must include NoC (2×8), L2 (12), DRAM (≥45): ≥70 cycles.
+	if ks.Cycles < 70 {
+		t.Errorf("cycles = %d, want ≥70 for a full DRAM round trip", ks.Cycles)
+	}
+	if ks.Instructions != 2 {
+		t.Errorf("instructions = %d, want 2", ks.Instructions)
+	}
+}
+
+func TestSecondLoadHitsL1(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{
+		load(1, 0, 100), compute(1),
+		load(1, 0, 100), compute(1),
+	})
+	ks := run(t, nil, tr)
+	if ks.L1.ReadMisses != 1 {
+		t.Errorf("L1 misses = %d, want 1 (second access hits)", ks.L1.ReadMisses)
+	}
+	if ks.L1.Reads != 2 {
+		t.Errorf("L1 reads = %d, want 2", ks.L1.Reads)
+	}
+}
+
+func TestL2SharedAcrossSMs(t *testing.T) {
+	// Two CTAs land on two SMs; both read block 100. The slower one should
+	// hit in L2 (or merge), so DRAM serves the block once.
+	tr := mkTrace(1,
+		[]simt.Instr{load(1, 0, 100), compute(1)},
+		[]simt.Instr{load(1, 0, 100), compute(1)},
+	)
+	ks := run(t, nil, tr)
+	if ks.DRAM.Served != 1 {
+		t.Errorf("DRAM served = %d, want 1 (L2 merge/hit)", ks.DRAM.Served)
+	}
+	if ks.L1.ReadMisses != 2 {
+		t.Errorf("L1 misses = %d, want 2 (private L1s)", ks.L1.ReadMisses)
+	}
+}
+
+func TestMSHRMergesSameBlockWithinSM(t *testing.T) {
+	// One CTA, two warps, same block: second miss merges in the L1 MSHR, so
+	// only one request crosses the NoC.
+	tr := mkTrace(2,
+		[]simt.Instr{load(1, 0, 100), compute(1)},
+		[]simt.Instr{load(1, 0, 100), compute(1)},
+	)
+	ks := run(t, nil, tr)
+	if ks.NoC.Requests != 1 {
+		t.Errorf("NoC requests = %d, want 1 (MSHR merge)", ks.NoC.Requests)
+	}
+	if ks.L1.ReadMisses != 2 {
+		t.Errorf("L1 misses = %d, want 2", ks.L1.ReadMisses)
+	}
+}
+
+func TestLatencyHidingAcrossWarps(t *testing.T) {
+	// One warp issuing 8 dependent load+compute pairs (serialized misses)
+	// versus 8 warps in one CTA each issuing one pair (overlapped misses).
+	serial := make([]simt.Instr, 0, 16)
+	for i := 0; i < 8; i++ {
+		serial = append(serial, load(1, 0, arch.BlockAddr(100+i*97)), compute(1))
+	}
+	one := run(t, nil, mkTrace(1, serial))
+
+	var warps [][]simt.Instr
+	for i := 0; i < 8; i++ {
+		warps = append(warps, []simt.Instr{load(1, 0, arch.BlockAddr(100+i*97)), compute(1)})
+	}
+	many := run(t, nil, mkTrace(8, warps...))
+
+	if float64(many.Cycles) > 0.6*float64(one.Cycles) {
+		t.Errorf("8 warps took %d cycles vs 1 warp %d; want ≥40%% latency hiding",
+			many.Cycles, one.Cycles)
+	}
+}
+
+func TestDetectionDoublesProtectedMisses(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})
+	base := run(t, nil, tr)
+	det := run(t, testPlan{copies: 2, lazy: true, offset: 1 << 20}, tr)
+	if det.L1.ReadMisses != 2*base.L1.ReadMisses {
+		t.Errorf("detection L1 misses = %d, want %d (doubled)", det.L1.ReadMisses, 2*base.L1.ReadMisses)
+	}
+	if det.CopyTransactions != 1 {
+		t.Errorf("copy transactions = %d, want 1", det.CopyTransactions)
+	}
+	if det.DRAM.Served != 2 {
+		t.Errorf("DRAM served = %d, want 2 (distinct copy addresses)", det.DRAM.Served)
+	}
+}
+
+func TestCorrectionTriplesProtectedMisses(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})
+	corr := run(t, testPlan{copies: 3, lazy: false, offset: 1 << 20}, tr)
+	if corr.L1.ReadMisses != 3 {
+		t.Errorf("correction L1 misses = %d, want 3", corr.L1.ReadMisses)
+	}
+	if corr.CopyTransactions != 2 {
+		t.Errorf("copy transactions = %d, want 2", corr.CopyTransactions)
+	}
+}
+
+func TestUnprotectedBufferUnaffectedByPlan(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{load(1, 1, 100), compute(1)}) // bufID 1 unprotected
+	ks := run(t, testPlan{copies: 3, lazy: false, offset: 1 << 20}, tr)
+	if ks.L1.ReadMisses != 1 {
+		t.Errorf("unprotected load misses = %d, want 1", ks.L1.ReadMisses)
+	}
+	if ks.CopyTransactions != 0 {
+		t.Errorf("copy transactions = %d, want 0", ks.CopyTransactions)
+	}
+}
+
+func TestLazyDetectionFasterThanEagerCorrection(t *testing.T) {
+	// A warp whose compute depends on a protected load: lazy detection
+	// completes the load at the first copy's arrival, correction stalls for
+	// all three. Place the replicas on distinct channels so arrival times
+	// genuinely differ; the correction run must not be faster.
+	var instrs []simt.Instr
+	for i := 0; i < 16; i++ {
+		instrs = append(instrs, load(1, 0, arch.BlockAddr(100+i*16)), compute(50))
+	}
+	tr := mkTrace(1, instrs)
+	det := run(t, testPlan{copies: 2, lazy: true, offset: (1 << 20) + 1}, tr)
+	corr := run(t, testPlan{copies: 3, lazy: false, offset: (1 << 20) + 1}, tr)
+	if det.Cycles > corr.Cycles {
+		t.Errorf("lazy detection (%d cycles) slower than eager correction (%d)", det.Cycles, corr.Cycles)
+	}
+}
+
+func TestProtectionOrderingBaselineDetectCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var warps [][]simt.Instr
+	for w := 0; w < 12; w++ {
+		var is []simt.Instr
+		for i := 0; i < 20; i++ {
+			is = append(is, load(1, 0, arch.BlockAddr(rng.Intn(4096))), compute(int32(1+rng.Intn(8))))
+		}
+		warps = append(warps, is)
+	}
+	tr := mkTrace(4, warps...)
+	base := run(t, nil, tr)
+	det := run(t, testPlan{copies: 2, lazy: true, offset: 1 << 20}, tr)
+	corr := run(t, testPlan{copies: 3, lazy: false, offset: 1 << 20}, tr)
+	if base.Cycles > det.Cycles {
+		t.Errorf("baseline (%d) slower than detection (%d)", base.Cycles, det.Cycles)
+	}
+	if det.Cycles > corr.Cycles {
+		t.Errorf("detection (%d) slower than correction (%d)", det.Cycles, corr.Cycles)
+	}
+	if !(base.L1.ReadMisses <= det.L1.ReadMisses && det.L1.ReadMisses <= corr.L1.ReadMisses) {
+		t.Errorf("miss ordering violated: %d, %d, %d",
+			base.L1.ReadMisses, det.L1.ReadMisses, corr.L1.ReadMisses)
+	}
+}
+
+func TestCompareBufferStalls(t *testing.T) {
+	// 48 warps issue protected loads to the same block: the misses merge in
+	// the MSHR (2 entries total) but every load needs its own comparison
+	// entry, exceeding the 32-entry buffer while the fill is in flight.
+	var warps [][]simt.Instr
+	for w := 0; w < 48; w++ {
+		warps = append(warps, []simt.Instr{load(1, 0, 0), compute(1)})
+	}
+	tr := mkTrace(48, warps...)
+	ks := run(t, testPlan{copies: 2, lazy: true, offset: 1 << 20}, tr)
+	if ks.CompareStalls == 0 {
+		t.Error("expected compare-buffer stalls with 48 concurrent protected loads")
+	}
+}
+
+func TestStoreWriteThrough(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{compute(1), store(2, 1, 100, 101)})
+	ks := run(t, nil, tr)
+	if ks.L1.Writes != 2 {
+		t.Errorf("L1 writes = %d, want 2", ks.L1.Writes)
+	}
+	// Write-through: both stores cross the NoC and miss L2 → DRAM writes.
+	if ks.NoC.Requests != 2 {
+		t.Errorf("NoC requests = %d, want 2", ks.NoC.Requests)
+	}
+	if ks.DRAM.Served != 2 {
+		t.Errorf("DRAM served = %d, want 2 write misses forwarded", ks.DRAM.Served)
+	}
+}
+
+func TestManyCTAsAllComplete(t *testing.T) {
+	// 64 CTAs of 2 warps over 15 SMs with an 8-CTA cap: requires slot
+	// recycling.
+	var warps [][]simt.Instr
+	for w := 0; w < 128; w++ {
+		warps = append(warps, []simt.Instr{
+			load(1, 0, arch.BlockAddr(w)), compute(3),
+			store(2, 1, arch.BlockAddr(10000+w)),
+		})
+	}
+	tr := mkTrace(2, warps...)
+	ks := run(t, nil, tr)
+	if ks.Instructions != 128*3 {
+		t.Errorf("instructions = %d, want %d", ks.Instructions, 128*3)
+	}
+}
+
+func TestUncoalescedLoadExceedingMSHRs(t *testing.T) {
+	// One warp load with 32 distinct blocks and 3 copies each would need 96
+	// MSHRs; the resumable issue path must make progress without deadlock.
+	blocks := make([]arch.BlockAddr, 32)
+	for i := range blocks {
+		blocks[i] = arch.BlockAddr(i * 7)
+	}
+	tr := mkTrace(1, []simt.Instr{load(1, 0, blocks...), compute(1)})
+	ks := run(t, testPlan{copies: 3, lazy: false, offset: 1 << 20}, tr)
+	if ks.L1.ReadMisses != 96 {
+		t.Errorf("L1 misses = %d, want 96", ks.L1.ReadMisses)
+	}
+	if ks.MSHRStalls == 0 {
+		t.Error("expected MSHR stalls for a 96-transaction load")
+	}
+}
+
+func TestSchedulerPoliciesBothComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var warps [][]simt.Instr
+	for w := 0; w < 8; w++ {
+		var is []simt.Instr
+		for i := 0; i < 10; i++ {
+			is = append(is, load(1, 0, arch.BlockAddr(rng.Intn(512))), compute(2))
+		}
+		warps = append(warps, is)
+	}
+	tr := mkTrace(8, warps...)
+	for _, pol := range []SchedulerPolicy{GTO, LRR} {
+		e, err := New(arch.Default(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Policy = pol
+		ks, err := e.RunKernel(tr)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if ks.Instructions != 8*20 {
+			t.Errorf("%v: instructions = %d, want 160", pol, ks.Instructions)
+		}
+	}
+}
+
+func TestRunAppAcrossKernels(t *testing.T) {
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})
+	k2 := mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})
+	app, err := e.RunApp("two-kernel", []*simt.KernelTrace{k1, k2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Kernels) != 2 {
+		t.Fatalf("kernels = %d, want 2", len(app.Kernels))
+	}
+	// Kernel boundary invalidates L1 but keeps L2 warm: the second kernel
+	// misses L1 and hits L2.
+	if app.Kernels[1].L1.ReadMisses != 1 {
+		t.Errorf("kernel 2 L1 misses = %d, want 1 (L1 flushed)", app.Kernels[1].L1.ReadMisses)
+	}
+	if app.Kernels[1].L2.ReadMisses != 0 {
+		t.Errorf("kernel 2 L2 misses = %d, want 0 (L2 persists)", app.Kernels[1].L2.ReadMisses)
+	}
+	if app.TotalCycles() != app.Kernels[0].Cycles+app.Kernels[1].Cycles {
+		t.Error("TotalCycles mismatch")
+	}
+	if app.Kernels[1].Cycles >= app.Kernels[0].Cycles {
+		t.Errorf("warm-L2 kernel (%d cycles) not faster than cold (%d)",
+			app.Kernels[1].Cycles, app.Kernels[0].Cycles)
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunKernel(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := e.RunKernel(&simt.KernelTrace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestEmptyWarpTraces(t *testing.T) {
+	// Warps with empty traces (fully predicated) must retire cleanly.
+	tr := mkTrace(2,
+		[]simt.Instr{load(1, 0, 5), compute(1)},
+		nil,
+	)
+	ks := run(t, nil, tr)
+	if ks.Instructions != 2 {
+		t.Errorf("instructions = %d, want 2", ks.Instructions)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	bad := arch.Default()
+	bad.NumSMs = 0
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var warps [][]simt.Instr
+	for w := 0; w < 64; w++ {
+		var is []simt.Instr
+		for i := 0; i < 50; i++ {
+			is = append(is, load(1, 0, arch.BlockAddr(rng.Intn(1<<14))), compute(4))
+		}
+		warps = append(warps, is)
+	}
+	tr := mkTrace(4, warps...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(arch.Default(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.RunKernel(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var ks KernelStats
+	if ks.IPC() != 0 {
+		t.Error("zero-cycle IPC not 0")
+	}
+	ks.Cycles = 100
+	ks.Instructions = 250
+	if got := ks.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+}
