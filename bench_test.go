@@ -28,10 +28,19 @@ import (
 // benchmark harness (the paper uses 1000; see cmd/repro -runs).
 const benchRuns = 60
 
+// The default suite fans experiment work units out over GOMAXPROCS
+// goroutines (SuiteConfig.Workers = 0); the *Serial benchmark variants pin
+// Workers to 1 so a -bench run records the suite-level speedup. Both paths
+// produce identical results by construction (per-run seeds are derived
+// from run indices, never from scheduling).
 var (
 	benchSuiteOnce sync.Once
 	benchSuiteVal  *experiments.Suite
 	benchSuiteErr  error
+
+	benchSerialSuiteOnce sync.Once
+	benchSerialSuiteVal  *experiments.Suite
+	benchSerialSuiteErr  error
 )
 
 func benchSuite(b *testing.B) *experiments.Suite {
@@ -43,6 +52,17 @@ func benchSuite(b *testing.B) *experiments.Suite {
 		b.Fatalf("suite: %v", benchSuiteErr)
 	}
 	return benchSuiteVal
+}
+
+func benchSerialSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchSerialSuiteOnce.Do(func() {
+		benchSerialSuiteVal, benchSerialSuiteErr = experiments.NewSuite(experiments.SuiteConfig{Workers: 1})
+	})
+	if benchSerialSuiteErr != nil {
+		b.Fatalf("suite: %v", benchSerialSuiteErr)
+	}
+	return benchSerialSuiteVal
 }
 
 // BenchmarkFig2L2Trend regenerates the motivation figure's dataset.
@@ -167,6 +187,55 @@ func BenchmarkFig9Resilience(b *testing.B) {
 		}
 		b.ReportMetric(experiments.SDCDropPercent(cells, hot), "sdc-drop-%")
 	}
+}
+
+// BenchmarkFig6HotVsRestSerial is BenchmarkFig6HotVsRest with the
+// suite-level fan-out pinned to one worker — the pre-parallelization
+// orchestration path, kept as the speedup baseline.
+func BenchmarkFig6HotVsRestSerial(b *testing.B) {
+	s := benchSerialSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6HotVsRest(s, experiments.Fig6Config{Runs: benchRuns}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7OverheadSerial is BenchmarkFig7Overhead with one worker.
+func BenchmarkFig7OverheadSerial(b *testing.B) {
+	s := benchSerialSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Overhead(s, experiments.Fig7Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9ResilienceSerial is BenchmarkFig9Resilience with one worker.
+func BenchmarkFig9ResilienceSerial(b *testing.B) {
+	s := benchSerialSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9Resilience(s, experiments.Fig9Config{Runs: benchRuns}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteMemoContention measures the memoized Profile path under
+// 8-way concurrent access (the fan-out's hottest shared structure).
+func BenchmarkSuiteMemoContention(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Profile("P-BICG"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Profile("P-BICG"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationLazyCompare measures lazy versus eager copy comparison

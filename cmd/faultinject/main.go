@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7]
+//	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0]
 package main
 
 import (
@@ -27,9 +27,10 @@ func run() error {
 	runs := flag.Int("runs", 1000, "fault-injection runs per configuration (paper: 1000)")
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 7, "campaign seed")
+	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+)
+
+// progressReporter renders suite fan-out progress as a single rewriting
+// stderr line per experiment phase: completed/total tasks, elapsed time,
+// and a completion-rate ETA. It writes to stderr only, so stdout stays
+// byte-identical across worker counts. The suite serializes events, so no
+// locking is needed here.
+type progressReporter struct {
+	w       io.Writer
+	now     func() time.Time
+	phase   string
+	started time.Time
+}
+
+func newProgressReporter(w io.Writer) *progressReporter {
+	return &progressReporter{w: w, now: time.Now}
+}
+
+// Report consumes one suite progress event.
+func (r *progressReporter) Report(ev experiments.ProgressEvent) {
+	if ev.Phase != r.phase {
+		r.phase = ev.Phase
+		r.started = r.now()
+	}
+	elapsed := r.now().Sub(r.started).Truncate(time.Second)
+	line := fmt.Sprintf("[%s] %d/%d  elapsed %s", ev.Phase, ev.Done, ev.Total, elapsed)
+	if ev.Done > 0 && ev.Done < ev.Total {
+		eta := time.Duration(float64(elapsed) / float64(ev.Done) * float64(ev.Total-ev.Done)).Truncate(time.Second)
+		line += fmt.Sprintf("  eta %s", eta)
+	}
+	// \r rewrites the line in place; pad to clear a longer previous line.
+	fmt.Fprintf(r.w, "\r%-70s", line)
+	if ev.Done >= ev.Total {
+		fmt.Fprintln(r.w)
+	}
+}

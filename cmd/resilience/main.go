@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	resilience -perf [-apps …]
-//	resilience -sdc [-runs 1000] [-apps …]
+//	resilience -perf [-apps …] [-workers 0]
+//	resilience -sdc [-runs 1000] [-apps …] [-workers 0]
 package main
 
 import (
@@ -31,12 +31,13 @@ func run() error {
 	runs := flag.Int("runs", 1000, "fault-injection runs per configuration (Fig. 9)")
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 11, "campaign seed")
+	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 	if !*perf && !*sdc {
 		*perf, *sdc = true, true
 	}
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -98,7 +98,9 @@ const (
 )
 
 // Library is the entry point: it builds and caches the bundled workloads
-// (constructing the C-NN classifier once). Not safe for concurrent use.
+// (constructing the C-NN classifier once). The underlying suite memoizes
+// per-workload artifacts behind once-guarded entries, so a Library is safe
+// for concurrent use.
 type Library struct {
 	suite *experiments.Suite
 }
@@ -132,6 +134,13 @@ const (
 // WithScale selects the workload input scale.
 func WithScale(s WorkloadScale) Option {
 	return func(c *experiments.SuiteConfig) { c.Scale = s }
+}
+
+// WithWorkers bounds the suite-level experiment fan-out (0, the default,
+// means GOMAXPROCS). Results are identical at any worker count; only
+// wall-clock time changes.
+func WithWorkers(n int) Option {
+	return func(c *experiments.SuiteConfig) { c.Workers = n }
 }
 
 // New builds a library.

@@ -29,18 +29,24 @@ type Fig7Point struct {
 
 // Fig7Config sizes the performance sweep.
 type Fig7Config struct {
-	// Apps restricts the application set (default: the evaluated eight).
+	// Apps restricts the application set. Default: the evaluated eight of
+	// Table II.
 	Apps []string
-	// Policy selects the warp scheduler (default GTO).
+	// Policy selects the warp scheduler. Default: timing.GTO, the paper's
+	// greedy-then-oldest baseline scheduler.
 	Policy timing.SchedulerPolicy
 }
 
 // Fig7Overhead runs the Fig. 7 experiment: for every application, sweep the
 // cumulative number of protected data objects for both schemes and measure
 // execution time and L1-missed accesses on the timing simulator, normalized
-// to the unprotected baseline. Traces are captured once per application;
-// replication happens at replay time, exactly as the hardware proposal adds
-// copy transactions at the LD/ST unit.
+// to the unprotected baseline. Traces are captured once per application
+// (concurrently, on the suite's worker pool) and then every
+// (application, scheme, level) timing run — baseline included — fans out
+// as its own task unit; each task replays the shared read-only traces
+// through a private engine, exactly as the hardware proposal adds copy
+// transactions at the LD/ST unit. Points are assembled and normalized in
+// the serial sweep order, so output is identical at any worker count.
 func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
 	apps := cfg.Apps
 	if len(apps) == 0 {
@@ -51,65 +57,95 @@ func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
 		policy = timing.GTO
 	}
 	gpu := arch.Default()
-	var out []Fig7Point
+
+	// Phase 1: build every application and capture its baseline traces.
+	err := s.runTasks("fig7: traces", len(apps), func(i int) error {
+		_, err := s.Traces(apps[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: enumerate the timing runs in serial sweep order. Level 0
+	// under scheme None is the normalization baseline.
+	type task struct {
+		app    string
+		scheme core.Scheme
+		level  int
+	}
+	var tasks []task
 	for _, name := range apps {
 		app, err := s.App(name)
 		if err != nil {
 			return nil, err
 		}
-		traces, err := app.TraceRun(nil)
-		if err != nil {
-			return nil, err
-		}
-		run := func(plan timing.ProtectionPlan) (timing.AppStats, error) {
-			eng, err := timing.New(gpu, plan)
-			if err != nil {
-				return timing.AppStats{}, err
-			}
-			eng.Policy = policy
-			return eng.RunApp(name, traces)
-		}
-		base, err := run(nil)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 %s baseline: %w", name, err)
-		}
-		baseCycles := float64(base.TotalCycles())
-		baseMisses := float64(base.TotalL1Misses())
-		out = append(out, Fig7Point{
-			App: name, Scheme: core.None, Level: 0,
-			Cycles: base.TotalCycles(), L1Misses: base.TotalL1Misses(),
-			NormTime: 1, NormMisses: 1,
-		})
+		tasks = append(tasks, task{name, core.None, 0})
 		for _, scheme := range []core.Scheme{core.Detection, core.Correction} {
 			for _, level := range sortedLevels(app)[1:] {
-				_, plan, err := s.PlanFor(name, scheme, level)
-				if err != nil {
-					return nil, err
-				}
-				var tplan timing.ProtectionPlan
-				if plan != nil {
-					tplan = plan
-				}
-				st, err := run(tplan)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig7 %s %v L%d: %w", name, scheme, level, err)
-				}
-				var stalls uint64
-				for _, k := range st.Kernels {
-					stalls += k.CompareStalls
-				}
-				out = append(out, Fig7Point{
-					App:           name,
-					Scheme:        scheme,
-					Level:         level,
-					Cycles:        st.TotalCycles(),
-					L1Misses:      st.TotalL1Misses(),
-					NormTime:      float64(st.TotalCycles()) / baseCycles,
-					NormMisses:    float64(st.TotalL1Misses()) / baseMisses,
-					CompareStalls: stalls,
-				})
+				tasks = append(tasks, task{name, scheme, level})
 			}
 		}
+	}
+
+	out := make([]Fig7Point, len(tasks))
+	err = s.runTasks("fig7: timing sweep", len(tasks), func(i int) error {
+		t := tasks[i]
+		traces, err := s.Traces(t.app)
+		if err != nil {
+			return err
+		}
+		var tplan timing.ProtectionPlan
+		if t.scheme != core.None {
+			_, plan, err := s.PlanFor(t.app, t.scheme, t.level)
+			if err != nil {
+				return err
+			}
+			if plan != nil {
+				tplan = plan
+			}
+		}
+		eng, err := timing.New(gpu, tplan)
+		if err != nil {
+			return fmt.Errorf("experiments: fig7 %s %v L%d: %w", t.app, t.scheme, t.level, err)
+		}
+		eng.Policy = policy
+		st, err := eng.RunApp(t.app, traces)
+		if err != nil {
+			return fmt.Errorf("experiments: fig7 %s %v L%d: %w", t.app, t.scheme, t.level, err)
+		}
+		var stalls uint64
+		for _, k := range st.Kernels {
+			stalls += k.CompareStalls
+		}
+		out[i] = Fig7Point{
+			App:           t.app,
+			Scheme:        t.scheme,
+			Level:         t.level,
+			Cycles:        st.TotalCycles(),
+			L1Misses:      st.TotalL1Misses(),
+			CompareStalls: stalls,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: normalize every point to its application's baseline. The
+	// task list is app-major with the baseline first, so a single pass
+	// suffices.
+	var baseCycles, baseMisses float64
+	for i := range out {
+		if out[i].Scheme == core.None {
+			baseCycles = float64(out[i].Cycles)
+			baseMisses = float64(out[i].L1Misses)
+			out[i].NormTime, out[i].NormMisses = 1, 1
+			out[i].CompareStalls = 0
+			continue
+		}
+		out[i].NormTime = float64(out[i].Cycles) / baseCycles
+		out[i].NormMisses = float64(out[i].L1Misses) / baseMisses
 	}
 	return out, nil
 }

@@ -14,16 +14,21 @@ import (
 
 // Fig9Config sizes the resilience evaluation.
 type Fig9Config struct {
-	// Runs per configuration (paper: 1000).
+	// Runs is the fault-injection count per configuration. Default 1000,
+	// the paper's count (95% CI ±3%).
 	Runs int
-	// Seed makes campaigns reproducible.
+	// Seed makes campaigns reproducible. Default 11. Every run's random
+	// stream is derived from (Seed, run index), so results are independent
+	// of worker scheduling.
 	Seed int64
-	// Models overrides the fault models (default: the paper's six).
+	// Models overrides the fault models. Default: DefaultFaultModels(),
+	// the paper's six {1,5} blocks × {2,3,4} bits configurations.
 	Models []fault.Model
-	// Apps restricts the application set (default: the evaluated eight).
+	// Apps restricts the application set. Default: the evaluated eight of
+	// Table II.
 	Apps []string
-	// Schemes overrides the schemes swept (default: detection and
-	// correction).
+	// Schemes overrides the schemes swept. Default: detection and
+	// detection+correction (the unprotected baseline is always included).
 	Schemes []core.Scheme
 }
 
@@ -111,59 +116,89 @@ func MissWeightedSelector(app *kernels.App, plan *core.Plan) (fault.Selector, er
 // Fig9Resilience runs the Fig. 9 experiment: inject faults across the whole
 // application address space (block choice weighted by L1-missed accesses,
 // replicas included) and count SDC outcomes as protection cumulatively
-// covers more data objects under each scheme.
+// covers more data objects under each scheme. Each (application,
+// scheme, level) configuration — plan construction, miss-weighted selector
+// timing run, and its fault campaigns — is one task unit on the suite's
+// worker pool; cells are assembled in the serial sweep order, so output is
+// identical at any worker count.
 func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 	cfg = cfg.withDefaults()
 	apps := cfg.Apps
 	if len(apps) == 0 {
 		apps = s.EvaluatedNames()
 	}
-	var out []Fig9Cell
+
+	// Phase 1: build every application and its golden output (the shared
+	// prerequisites of every configuration task).
+	err := s.runTasks("fig9: goldens", len(apps), func(i int) error {
+		_, err := s.Golden(apps[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: enumerate the configuration sweep in serial order.
+	type task struct {
+		app    string
+		scheme core.Scheme
+		level  int
+	}
+	var tasks []task
 	for _, name := range apps {
-		golden, err := s.Golden(name)
-		if err != nil {
-			return nil, err
-		}
 		baseApp, err := s.App(name)
 		if err != nil {
 			return nil, err
 		}
-
-		type config struct {
-			scheme core.Scheme
-			level  int
-		}
-		configs := []config{{core.None, 0}}
+		tasks = append(tasks, task{name, core.None, 0})
 		for _, scheme := range cfg.Schemes {
 			for _, level := range sortedLevels(baseApp)[1:] {
-				configs = append(configs, config{scheme, level})
+				tasks = append(tasks, task{name, scheme, level})
 			}
 		}
-		for _, c := range configs {
-			app, plan, err := s.PlanFor(name, c.scheme, c.level)
-			if err != nil {
-				return nil, err
-			}
-			sel, err := MissWeightedSelector(app, plan)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig9 %s %v L%d: %w", name, c.scheme, c.level, err)
-			}
-			for _, model := range cfg.Models {
-				model := model
-				campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed}
-				res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-					clone := app.Mem.Clone()
-					if _, err := fault.Inject(clone, rng, model, sel); err != nil {
-						return 0, err
-					}
-					return ClassifyRun(app, clone, plan, golden)
-				})
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig9 %s %v L%d %v: %w", name, c.scheme, c.level, model, err)
+	}
+
+	perTask := make([][]Fig9Cell, len(tasks))
+	err = s.runTasks("fig9: campaigns", len(tasks), func(i int) error {
+		t := tasks[i]
+		golden, err := s.Golden(t.app)
+		if err != nil {
+			return err
+		}
+		app, plan, err := s.PlanFor(t.app, t.scheme, t.level)
+		if err != nil {
+			return err
+		}
+		sel, err := MissWeightedSelector(app, plan)
+		if err != nil {
+			return fmt.Errorf("experiments: fig9 %s %v L%d: %w", t.app, t.scheme, t.level, err)
+		}
+		cells := make([]Fig9Cell, 0, len(cfg.Models))
+		for _, model := range cfg.Models {
+			model := model
+			campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed, Workers: s.campaignWorkers()}
+			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+				clone := app.Mem.Clone()
+				if _, err := fault.Inject(clone, rng, model, sel); err != nil {
+					return 0, err
 				}
-				out = append(out, Fig9Cell{App: name, Scheme: c.scheme, Level: c.level, Model: model, Result: res})
+				return ClassifyRun(app, clone, plan, golden)
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: fig9 %s %v L%d %v: %w", t.app, t.scheme, t.level, model, err)
 			}
+			cells = append(cells, Fig9Cell{App: t.app, Scheme: t.scheme, Level: t.level, Model: model, Result: res})
 		}
+		perTask[i] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig9Cell
+	for _, cells := range perTask {
+		out = append(out, cells...)
 	}
 	return out, nil
 }

@@ -52,23 +52,29 @@ type Fig3Result struct {
 }
 
 // Fig3AccessProfiles profiles every application (including the two
-// counter-examples) and returns the Fig. 3 series.
+// counter-examples) and returns the Fig. 3 series. Applications are
+// profiled concurrently on the suite's worker pool.
 func Fig3AccessProfiles(s *Suite, points int) ([]Fig3Result, error) {
 	if points <= 0 {
 		points = 100
 	}
-	var out []Fig3Result
-	for _, name := range s.AllNames() {
-		p, err := s.Profile(name)
+	names := s.AllNames()
+	out := make([]Fig3Result, len(names))
+	err := s.runTasks("fig3: profiles", len(names), func(i int) error {
+		p, err := s.Profile(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig3Result{
-			App:         name,
+		out[i] = Fig3Result{
+			App:         names[i],
 			Series:      p.NormalizedReadSeries(points),
 			MaxMinRatio: p.MaxMinRatio(),
 			HotPattern:  p.HasHotPattern(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -84,18 +90,24 @@ type Fig4Result struct {
 	Series []float64
 }
 
-// Fig4WarpSharing returns the Fig. 4 series.
+// Fig4WarpSharing returns the Fig. 4 series, profiling its four
+// applications concurrently (profiles already collected for Fig. 3 are
+// reused from the suite memo).
 func Fig4WarpSharing(s *Suite, points int) ([]Fig4Result, error) {
 	if points <= 0 {
 		points = 100
 	}
-	var out []Fig4Result
-	for _, name := range Fig4Apps {
-		p, err := s.Profile(name)
+	out := make([]Fig4Result, len(Fig4Apps))
+	err := s.runTasks("fig4: warp sharing", len(Fig4Apps), func(i int) error {
+		p, err := s.Profile(Fig4Apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig4Result{App: name, Series: p.WarpSharePercentSeries(points)})
+		out[i] = Fig4Result{App: Fig4Apps[i], Series: p.WarpSharePercentSeries(points)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -118,17 +130,20 @@ type Table3Row struct {
 	HotAccessPercent float64
 }
 
-// Table3DataObjects reproduces Table III for the evaluated applications.
+// Table3DataObjects reproduces Table III for the evaluated applications,
+// profiling them concurrently on the suite's worker pool.
 func Table3DataObjects(s *Suite) ([]Table3Row, error) {
-	var out []Table3Row
-	for _, name := range s.EvaluatedNames() {
+	names := s.EvaluatedNames()
+	out := make([]Table3Row, len(names))
+	err := s.runTasks("table3: data objects", len(names), func(i int) error {
+		name := names[i]
 		app, err := s.App(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := s.Profile(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hot := make(map[string]bool, app.HotCount)
 		for _, o := range app.HotObjects() {
@@ -142,7 +157,11 @@ func Table3DataObjects(s *Suite) ([]Table3Row, error) {
 		for _, o := range p.Objects {
 			row.Objects = append(row.Objects, Table3Object{Name: o.Name, Hot: hot[o.Name], Reads: o.Reads})
 		}
-		out = append(out, row)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -194,13 +213,18 @@ func ClassifyRun(app *kernels.App, clone *mem.Memory, plan *core.Plan, golden []
 
 // Fig6Config sizes the hot-vs-rest vulnerability campaigns.
 type Fig6Config struct {
-	// Runs per configuration (paper: 1000).
+	// Runs is the fault-injection count per configuration. Default 1000,
+	// the paper's count (95% CI ±3%).
 	Runs int
-	// Seed makes campaigns reproducible.
+	// Seed makes campaigns reproducible. Default 7. Every run's random
+	// stream is derived from (Seed, run index), so results are independent
+	// of worker scheduling.
 	Seed int64
-	// Models overrides the fault models (default: the paper's six).
+	// Models overrides the fault models. Default: DefaultFaultModels(),
+	// the paper's six {1,5} blocks × {2,3,4} bits configurations.
 	Models []fault.Model
-	// Apps restricts the application set (default: the evaluated eight).
+	// Apps restricts the application set. Default: the evaluated eight of
+	// Table II.
 	Apps []string
 }
 
@@ -230,71 +254,93 @@ type Fig6Cell struct {
 
 // Fig6HotVsRest runs the Fig. 6 experiment: inject faults into hot memory
 // blocks versus the rest of the accessed blocks (no protection enabled) and
-// count SDC outcomes.
+// count SDC outcomes. Applications fan out over the suite's worker pool;
+// each application's campaigns run its space × model grid in the serial
+// order, so the returned cells match a serial run exactly.
 func Fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 	cfg = cfg.withDefaults()
 	apps := cfg.Apps
 	if len(apps) == 0 {
 		apps = s.EvaluatedNames()
 	}
+	perApp := make([][]Fig6Cell, len(apps))
+	err := s.runTasks("fig6: campaigns", len(apps), func(i int) error {
+		cells, err := fig6App(s, cfg, apps[i])
+		if err != nil {
+			return err
+		}
+		perApp[i] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig6Cell
-	for _, name := range apps {
-		app, err := s.App(name)
+	for _, cells := range perApp {
+		out = append(out, cells...)
+	}
+	return out, nil
+}
+
+// fig6App runs one application's hot and rest campaigns across every fault
+// model.
+func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
+	app, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := s.Golden(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	// Hot = accessed blocks of the hot data objects; rest = every other
+	// accessed block (Fig. 5's division of the sorted profile).
+	hotNames := make(map[string]bool, app.HotCount)
+	for _, o := range app.HotObjects() {
+		hotNames[o.Name] = true
+	}
+	var hotBlocks, restBlocks []arch.BlockAddr
+	for _, b := range p.Blocks {
+		if hotNames[b.Object] {
+			hotBlocks = append(hotBlocks, b.Block)
+		} else {
+			restBlocks = append(restBlocks, b.Block)
+		}
+	}
+	spaces := []struct {
+		label  string
+		blocks []arch.BlockAddr
+	}{
+		{"hot", hotBlocks},
+		{"rest", restBlocks},
+	}
+	var out []Fig6Cell
+	for _, sp := range spaces {
+		if len(sp.blocks) == 0 {
+			return nil, fmt.Errorf("experiments: %s has no %s blocks", name, sp.label)
+		}
+		sel, err := fault.NewSetSelector(sp.blocks)
 		if err != nil {
 			return nil, err
 		}
-		golden, err := s.Golden(name)
-		if err != nil {
-			return nil, err
-		}
-		p, err := s.Profile(name)
-		if err != nil {
-			return nil, err
-		}
-		// Hot = accessed blocks of the hot data objects; rest = every other
-		// accessed block (Fig. 5's division of the sorted profile).
-		hotNames := make(map[string]bool, app.HotCount)
-		for _, o := range app.HotObjects() {
-			hotNames[o.Name] = true
-		}
-		var hotBlocks, restBlocks []arch.BlockAddr
-		for _, b := range p.Blocks {
-			if hotNames[b.Object] {
-				hotBlocks = append(hotBlocks, b.Block)
-			} else {
-				restBlocks = append(restBlocks, b.Block)
-			}
-		}
-		spaces := []struct {
-			label  string
-			blocks []arch.BlockAddr
-		}{
-			{"hot", hotBlocks},
-			{"rest", restBlocks},
-		}
-		for _, sp := range spaces {
-			if len(sp.blocks) == 0 {
-				return nil, fmt.Errorf("experiments: %s has no %s blocks", name, sp.label)
-			}
-			sel, err := fault.NewSetSelector(sp.blocks)
-			if err != nil {
-				return nil, err
-			}
-			for _, model := range cfg.Models {
-				model := model
-				campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed}
-				res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-					clone := app.Mem.Clone()
-					if _, err := fault.Inject(clone, rng, model, sel); err != nil {
-						return 0, err
-					}
-					return ClassifyRun(app, clone, nil, golden)
-				})
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig6 %s/%s/%v: %w", name, sp.label, model, err)
+		for _, model := range cfg.Models {
+			model := model
+			campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed, Workers: s.campaignWorkers()}
+			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+				clone := app.Mem.Clone()
+				if _, err := fault.Inject(clone, rng, model, sel); err != nil {
+					return 0, err
 				}
-				out = append(out, Fig6Cell{App: name, Space: sp.label, Model: model, Result: res})
+				return ClassifyRun(app, clone, nil, golden)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %s/%s/%v: %w", name, sp.label, model, err)
 			}
+			out = append(out, Fig6Cell{App: name, Space: sp.label, Model: model, Result: res})
 		}
 	}
 	return out, nil

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+// twoSuites builds one serial and one 8-worker suite with otherwise
+// identical configuration.
+func twoSuites(t *testing.T) (serial, parallel *Suite) {
+	t.Helper()
+	var err error
+	serial, err = NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err = NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// TestParallelMatchesSerial asserts the tentpole invariant: every
+// experiment returns deeply equal results at Workers=1 and Workers=8 —
+// per-task seed derivation and index-ordered assembly make worker
+// scheduling invisible in the output.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, parallel := twoSuites(t)
+
+	f3s, err := Fig3AccessProfiles(serial, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3p, err := Fig3AccessProfiles(parallel, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f3s, f3p) {
+		t.Error("Fig3: parallel results differ from serial")
+	}
+
+	f4s, err := Fig4WarpSharing(serial, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4p, err := Fig4WarpSharing(parallel, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f4s, f4p) {
+		t.Error("Fig4: parallel results differ from serial")
+	}
+
+	t3s, err := Table3DataObjects(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3p, err := Table3DataObjects(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t3s, t3p) {
+		t.Error("Table3: parallel results differ from serial")
+	}
+
+	f6cfg := Fig6Config{
+		Runs:   24,
+		Apps:   []string{"P-BICG", "A-Laplacian"},
+		Models: []fault.Model{{BitsPerWord: 2, Blocks: 1}, {BitsPerWord: 4, Blocks: 5}},
+	}
+	f6s, err := Fig6HotVsRest(serial, f6cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6p, err := Fig6HotVsRest(parallel, f6cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6s, f6p) {
+		t.Error("Fig6: parallel results differ from serial")
+	}
+
+	f7cfg := Fig7Config{Apps: []string{"P-BICG", "P-MVT"}}
+	f7s, err := Fig7Overhead(serial, f7cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7p, err := Fig7Overhead(parallel, f7cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f7s, f7p) {
+		t.Error("Fig7: parallel results differ from serial")
+	}
+
+	f9cfg := Fig9Config{
+		Runs:   24,
+		Apps:   []string{"P-BICG"},
+		Models: []fault.Model{{BitsPerWord: 3, Blocks: 5}},
+	}
+	f9s, err := Fig9Resilience(serial, f9cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9p, err := Fig9Resilience(parallel, f9cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f9s, f9p) {
+		t.Error("Fig9: parallel results differ from serial")
+	}
+}
+
+// TestProgressEvents asserts the progress stream is serialized, counts
+// monotonically per phase, and reaches Done == Total for every phase.
+func TestProgressEvents(t *testing.T) {
+	var events []ProgressEvent
+	s, err := NewSuite(SuiteConfig{
+		NNTrainSamples: 60,
+		Workers:        4,
+		Progress:       func(ev ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table3DataObjects(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events delivered")
+	}
+	last := make(map[string]ProgressEvent)
+	for _, ev := range events {
+		if prev, ok := last[ev.Phase]; ok {
+			if ev.Done != prev.Done+1 || ev.Total != prev.Total {
+				t.Fatalf("non-monotonic progress: %+v after %+v", ev, prev)
+			}
+		} else if ev.Done != 1 {
+			t.Fatalf("phase %q started at Done=%d", ev.Phase, ev.Done)
+		}
+		last[ev.Phase] = ev
+	}
+	for phase, ev := range last {
+		if ev.Done != ev.Total {
+			t.Errorf("phase %q finished at %d/%d", phase, ev.Done, ev.Total)
+		}
+	}
+}
+
+// TestRunTasksError asserts a failing task aborts the fan-out and
+// surfaces its error to the caller.
+func TestRunTasksError(t *testing.T) {
+	s, err := NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &probeError{"probe"}
+	if err := s.runTasks("test: error probe", 16, func(i int) error {
+		if i == 3 {
+			return probe
+		}
+		return nil
+	}); err != probe {
+		t.Fatalf("runTasks error = %v, want the probe error", err)
+	}
+}
+
+type probeError struct{ msg string }
+
+func (e *probeError) Error() string { return e.msg }

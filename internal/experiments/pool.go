@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ProgressEvent is one fan-out progress notification: Done of Total task
+// units of the named experiment phase have completed. Total is fixed for
+// the lifetime of a phase, so a reporter can derive completion percentage
+// and an ETA from the event stream alone.
+type ProgressEvent struct {
+	// Phase labels the experiment fan-out (e.g. "fig7: timing sweep").
+	Phase string
+	// Done and Total count completed vs. scheduled task units.
+	Done, Total int
+}
+
+// ProgressFunc receives fan-out progress events. The suite serializes
+// calls, so implementations need no locking of their own.
+type ProgressFunc func(ProgressEvent)
+
+// workers resolves the suite's configured worker bound (0 = GOMAXPROCS).
+func (s *Suite) workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// campaignWorkers bounds the fault.Campaign parallelism nested inside a
+// suite-level task so the two levels multiply out to roughly GOMAXPROCS
+// rather than oversubscribing it.
+func (s *Suite) campaignWorkers() int {
+	w := runtime.GOMAXPROCS(0) / s.workers()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runTasks executes n independent task units on at most s.workers()
+// goroutines and reports completion progress to the suite's ProgressFunc.
+// Task i writes its result into caller-owned slot i, so the caller
+// assembles output in the same order as a serial loop would — parallel
+// runs are bit-identical to serial ones as long as each task is itself
+// deterministic. The first task error aborts the fan-out (in-flight tasks
+// finish; queued ones are skipped) and is returned.
+func (s *Suite) runTasks(phase string, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := s.workers()
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		done    int
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstEr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstEr == nil {
+			firstEr = err
+		}
+		done++
+		if s.cfg.Progress != nil {
+			s.cfg.Progress(ProgressEvent{Phase: phase, Done: done, Total: n})
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				finish(task(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -5,17 +5,29 @@
 // the access-pattern analysis, functional fault-injection campaigns for the
 // reliability results, and timing-simulator sweeps for the performance
 // results.
+//
+// Every experiment fans its independent work units (per application, and
+// per scheme × protection level for the timing and resilience sweeps) over
+// a bounded worker pool sized by SuiteConfig.Workers. Task results are
+// assembled by index, and every per-run random stream is derived from the
+// configured seed rather than from scheduling order, so the output of a
+// parallel run is bit-identical to a serial one at any worker count. The
+// Suite itself is safe for concurrent use: its application, profile,
+// golden-output, and trace memos are once-guarded per key, so concurrent
+// experiments share one profiling pass instead of racing or repeating it.
 package experiments
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/kernels"
 	"github.com/datacentric-gpu/dcrm/internal/mem"
 	"github.com/datacentric-gpu/dcrm/internal/nn"
 	"github.com/datacentric-gpu/dcrm/internal/profile"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
 )
 
 // Scale selects the workload input sizes.
@@ -57,6 +69,15 @@ type SuiteConfig struct {
 	Seed int64
 	// Scale selects workload input sizes (default ScaleSmall).
 	Scale Scale
+	// Workers bounds the suite-level experiment fan-out (independent
+	// applications, and scheme × level configurations within the Fig. 7 and
+	// Fig. 9 sweeps). 0 means GOMAXPROCS. Results are identical at any
+	// worker count; only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, receives a serialized stream of task
+	// completion events from every experiment fan-out (cmd/repro wires this
+	// to a stderr ETA reporter).
+	Progress ProgressFunc
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -90,15 +111,50 @@ func (s Scale) spec() scaleSpec {
 	}
 }
 
-// Suite builds and caches the paper's applications, their profiles, and
-// their fault-free golden outputs. Building C-NN's network is expensive, so
-// one network is shared across every C-NN instance the experiments create.
+// memo is a concurrency-safe per-key build cache. The map lock is held
+// only to find or insert an entry; the build itself runs under the entry's
+// sync.Once, so concurrent callers for the same key share one build while
+// different keys build in parallel. Errors are memoized too — every build
+// here is deterministic, so a failure would simply repeat.
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *memo[T]) get(key string, build func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[T])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Suite builds and caches the paper's applications, their profiles, their
+// fault-free golden outputs, and their baseline traces. Building C-NN's
+// network is expensive, so one network is shared across every C-NN
+// instance the experiments create. All methods are safe for concurrent
+// use; the memoized artifacts are built once per key and must be treated
+// as read-only by callers.
 type Suite struct {
 	cfg      SuiteConfig
 	net      *nn.Network
-	apps     map[string]*kernels.App
-	profiles map[string]*profile.Profile
-	goldens  map[string][]float32
+	apps     memo[*kernels.App]
+	profiles memo[*profile.Profile]
+	goldens  memo[[]float32]
+	traces   memo[[]*simt.KernelTrace]
 }
 
 // NewSuite constructs the suite (training the shared C-NN network once).
@@ -108,13 +164,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &Suite{
-		cfg:      cfg,
-		net:      net,
-		apps:     make(map[string]*kernels.App),
-		profiles: make(map[string]*profile.Profile),
-		goldens:  make(map[string][]float32),
-	}, nil
+	return &Suite{cfg: cfg, net: net}, nil
 }
 
 // AllNames returns every application label, evaluated apps first.
@@ -172,49 +222,46 @@ func (s *Suite) Fresh(name string) (*kernels.App, error) {
 
 // App returns the cached base instance of the named application.
 func (s *Suite) App(name string) (*kernels.App, error) {
-	if a, ok := s.apps[name]; ok {
-		return a, nil
-	}
-	a, err := s.Fresh(name)
-	if err != nil {
-		return nil, err
-	}
-	s.apps[name] = a
-	return a, nil
+	return s.apps.get(name, func() (*kernels.App, error) {
+		return s.Fresh(name)
+	})
 }
 
 // Profile returns the cached access profile of the named application.
+// Concurrent callers (Fig. 3/4/6 and Table III racing over the same app)
+// share a single profiling pass.
 func (s *Suite) Profile(name string) (*profile.Profile, error) {
-	if p, ok := s.profiles[name]; ok {
-		return p, nil
-	}
-	a, err := s.App(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := profile.Collect(a)
-	if err != nil {
-		return nil, err
-	}
-	s.profiles[name] = p
-	return p, nil
+	return s.profiles.get(name, func() (*profile.Profile, error) {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		return profile.Collect(a)
+	})
 }
 
 // Golden returns the cached fault-free output of the named application.
 func (s *Suite) Golden(name string) ([]float32, error) {
-	if g, ok := s.goldens[name]; ok {
-		return g, nil
-	}
-	a, err := s.App(name)
-	if err != nil {
-		return nil, err
-	}
-	g, err := a.GoldenRun()
-	if err != nil {
-		return nil, err
-	}
-	s.goldens[name] = g
-	return g, nil
+	return s.goldens.get(name, func() ([]float32, error) {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		return a.GoldenRun()
+	})
+}
+
+// Traces returns the cached unprotected per-kernel traces of the named
+// application's base instance. The timing engine treats traces as
+// read-only, so one capture feeds any number of concurrent replays.
+func (s *Suite) Traces(name string) ([]*simt.KernelTrace, error) {
+	return s.traces.get(name, func() ([]*simt.KernelTrace, error) {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		return a.TraceRun(nil)
+	})
 }
 
 // PlanFor builds a protection plan on a fresh instance of the application,

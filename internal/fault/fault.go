@@ -4,6 +4,12 @@
 // selection strategies for the hot/rest split of Fig. 6 and the
 // L1-miss-weighted whole-space injection of Fig. 9, and campaigns of many
 // independent runs executed in parallel with binomial confidence intervals.
+//
+// Campaigns are reproducible by construction: run i draws from an rng
+// derived from (Campaign.Seed, i), never from goroutine scheduling, so a
+// campaign's Result is identical at any Workers count. The experiments
+// package builds on this to keep whole-suite parallel runs bit-identical
+// to serial ones.
 package fault
 
 import (

@@ -6,6 +6,11 @@
 // through a ProtectionPlan: protected loads that miss in L1 fan out into
 // copy transactions, complete lazily (detection) or after all copies arrive
 // (correction), and occupy entries of the bounded pending-compare buffer.
+//
+// An Engine is single-threaded, but it treats the traces it replays as
+// strictly read-only, so any number of engines may replay the same
+// captured traces concurrently — the experiments package relies on this
+// to fan its (scheme, level) sweeps over a worker pool.
 package timing
 
 import "container/heap"
