@@ -1,0 +1,95 @@
+// Command dcrmd is a monitoring daemon in the style of gpud: it runs
+// fault-injection campaigns and performance sweeps in the background and
+// exposes their progress and results over HTTP, so a long campaign can be
+// watched from another terminal (or scraped by Prometheus) instead of
+// holding a foreground process hostage.
+//
+// Endpoints:
+//
+//	GET  /healthz            component health (suite, jobs)
+//	GET  /metrics            Prometheus text format: live campaign/engine counters
+//	GET  /v1/experiments     submitted jobs and their states
+//	POST /v1/campaigns       start a campaign: {"kind":"fig6","runs":200,"apps":["P-BICG"]}
+//	GET  /v1/campaigns/{id}  one job, JSON result included once done
+//
+// Usage:
+//
+//	dcrmd [-addr :8080] [-workers 0] [-scale small]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+	"github.com/datacentric-gpu/dcrm/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcrmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
+	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
+
+	cfg := experiments.SuiteConfig{Workers: *workers}
+	switch *scale {
+	case "small":
+		cfg.Scale = experiments.ScaleSmall
+	case "medium":
+		cfg.Scale = experiments.ScaleMedium
+	case "large":
+		cfg.Scale = experiments.ScaleLarge
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	reg := telemetry.NewRegistry()
+	runner := newRunner(cfg, reg)
+	srv := &http.Server{Addr: *addr, Handler: newMux(runner, reg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dcrmd: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting requests, then let the background
+	// campaigns drain (they are CPU-bound and finite).
+	fmt.Fprintln(os.Stderr, "dcrmd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	runner.wait()
+	return nil
+}

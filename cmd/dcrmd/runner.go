@@ -1,0 +1,220 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+// jobKinds maps the campaign kinds the API accepts to the experiment each
+// one runs. Results marshal directly: every experiment returns exported
+// structs.
+var jobKinds = map[string]func(*experiments.Suite, jobParams) (any, error){
+	"fig6": func(s *experiments.Suite, p jobParams) (any, error) {
+		return experiments.Fig6HotVsRest(s, experiments.Fig6Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps})
+	},
+	"fig7": func(s *experiments.Suite, p jobParams) (any, error) {
+		return experiments.Fig7Overhead(s, experiments.Fig7Config{Apps: p.Apps})
+	},
+	"fig9": func(s *experiments.Suite, p jobParams) (any, error) {
+		return experiments.Fig9Resilience(s, experiments.Fig9Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps})
+	},
+}
+
+// jobParams are the per-campaign knobs accepted by POST /v1/campaigns.
+// Zero values fall back to each experiment's own defaults (the paper's
+// run counts and seeds, the evaluated application set).
+type jobParams struct {
+	Apps []string `json:"apps,omitempty"`
+	Runs int      `json:"runs,omitempty"`
+	Seed int64    `json:"seed,omitempty"`
+}
+
+// jobState is the lifecycle of a submitted campaign.
+type jobState string
+
+const (
+	statePending jobState = "pending"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// job is one background campaign. The runner mutates it only under its
+// mutex; handlers read copies taken under the same lock.
+type job struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Params    jobParams `json:"params"`
+	State     jobState  `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	Error     string    `json:"error,omitempty"`
+	Result    any       `json:"result,omitempty"`
+}
+
+// runner owns the experiment suite and the background campaign jobs. The
+// suite is built lazily on the first submission (C-NN weight training makes
+// construction slow), so the daemon answers /healthz immediately after
+// start.
+type runner struct {
+	cfg experiments.SuiteConfig
+	reg *telemetry.Registry
+
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*job
+	wg     sync.WaitGroup
+
+	jobsSubmitted *telemetry.CounterVec // dcrm_daemon_jobs_total{kind}
+	jobsFinished  *telemetry.CounterVec // dcrm_daemon_jobs_finished_total{state}
+	jobsRunning   *telemetry.Gauge      // dcrm_daemon_jobs_running
+}
+
+// newRunner wires a runner to reg; the suite inherits reg so campaign and
+// fan-out counters from running jobs surface on /metrics live.
+func newRunner(cfg experiments.SuiteConfig, reg *telemetry.Registry) *runner {
+	cfg.Telemetry = reg
+	return &runner{
+		cfg:  cfg,
+		reg:  reg,
+		jobs: make(map[string]*job),
+		jobsSubmitted: reg.CounterVec("dcrm_daemon_jobs_total",
+			"Campaign jobs submitted, by kind.", "kind"),
+		jobsFinished: reg.CounterVec("dcrm_daemon_jobs_finished_total",
+			"Campaign jobs finished, by final state.", "state"),
+		jobsRunning: reg.Gauge("dcrm_daemon_jobs_running",
+			"Campaign jobs currently executing."),
+	}
+}
+
+// getSuite builds the suite once and memoizes the result, error included.
+// The fields are assigned under mu so the health handler can read the
+// build state concurrently; callers of getSuite itself are ordered by the
+// Once.
+func (r *runner) getSuite() (*experiments.Suite, error) {
+	r.suiteOnce.Do(func() {
+		s, err := experiments.NewSuite(r.cfg)
+		r.mu.Lock()
+		r.suite, r.suiteErr = s, err
+		r.mu.Unlock()
+	})
+	return r.suite, r.suiteErr
+}
+
+// submit validates the request, registers a job, and starts it in the
+// background. It returns a snapshot of the new job.
+func (r *runner) submit(kind string, params jobParams) (job, error) {
+	runFn, ok := jobKinds[kind]
+	if !ok {
+		return job{}, fmt.Errorf("unknown campaign kind %q (want fig6, fig7, or fig9)", kind)
+	}
+
+	r.mu.Lock()
+	r.nextID++
+	j := &job{
+		ID:        fmt.Sprintf("job-%d", r.nextID),
+		Kind:      kind,
+		Params:    params,
+		State:     statePending,
+		Submitted: time.Now().UTC(),
+	}
+	r.jobs[j.ID] = j
+	snap := *j
+	r.mu.Unlock()
+
+	r.jobsSubmitted.With(kind).Inc()
+	r.wg.Add(1)
+	go r.execute(j, runFn)
+	return snap, nil
+}
+
+// execute runs one job to completion. Suite construction errors fail the
+// job rather than the daemon.
+func (r *runner) execute(j *job, runFn func(*experiments.Suite, jobParams) (any, error)) {
+	defer r.wg.Done()
+
+	r.mu.Lock()
+	j.State = stateRunning
+	j.Started = time.Now().UTC()
+	params := j.Params
+	r.mu.Unlock()
+	r.jobsRunning.Add(1)
+	defer r.jobsRunning.Add(-1)
+
+	var result any
+	suite, err := r.getSuite()
+	if err == nil {
+		result, err = runFn(suite, params)
+	}
+
+	r.mu.Lock()
+	j.Finished = time.Now().UTC()
+	if err != nil {
+		j.State = stateFailed
+		j.Error = err.Error()
+	} else {
+		j.State = stateDone
+		j.Result = result
+	}
+	r.jobsFinished.With(string(j.State)).Inc()
+	r.mu.Unlock()
+}
+
+// get returns a snapshot of one job.
+func (r *runner) get(id string) (job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return job{}, false
+	}
+	return *j, true
+}
+
+// list returns snapshots of every job without results (the per-job
+// endpoint serves those), ordered by submission.
+func (r *runner) list() []job {
+	r.mu.Lock()
+	out := make([]job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		snap := *j
+		snap.Result = nil
+		out = append(out, snap)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return numericIDLess(out[i].ID, out[k].ID) })
+	return out
+}
+
+// numericIDLess orders "job-2" before "job-10".
+func numericIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// counts tallies jobs by state for the health report.
+func (r *runner) counts() map[jobState]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := make(map[jobState]int, 4)
+	for _, j := range r.jobs {
+		c[j.State]++
+	}
+	return c
+}
+
+// wait blocks until every background job has finished; the graceful
+// shutdown path calls it after the listener closes.
+func (r *runner) wait() { r.wg.Wait() }

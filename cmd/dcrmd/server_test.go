@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+// newTestServer builds a daemon with a fast suite (tiny NN training set)
+// and serves it from httptest.
+func newTestServer(t *testing.T) (*httptest.Server, *runner) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg)
+	srv := httptest.NewServer(newMux(r, reg))
+	t.Cleanup(func() {
+		srv.Close()
+		r.wait()
+	})
+	return srv, r
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestDaemonEndToEnd drives the whole loop: health on an idle daemon,
+// campaign submission, polling to completion, the results payload, and the
+// live Prometheus counters the background run produced.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Idle daemon: healthy, suite not yet built.
+	var rep healthReport
+	if resp := getJSON(t, srv.URL+"/healthz", &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	if rep.Status != "healthy" {
+		t.Fatalf("idle daemon reports %q", rep.Status)
+	}
+	suiteState := ""
+	for _, c := range rep.Components {
+		if c.Name == "suite" {
+			suiteState = c.Health
+		}
+	}
+	if suiteState != "initializing" {
+		t.Errorf("idle suite component = %q, want initializing", suiteState)
+	}
+
+	// Submit a small fig6 campaign.
+	body := `{"kind":"fig6","apps":["P-BICG"],"runs":8,"seed":3}`
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted job
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns = %d", resp.StatusCode)
+	}
+	if submitted.ID == "" || submitted.Kind != "fig6" {
+		t.Fatalf("bad submission response: %+v", submitted)
+	}
+
+	// Poll until the background runner finishes it.
+	deadline := time.Now().Add(2 * time.Minute)
+	var finished job
+	for {
+		getJSON(t, srv.URL+"/v1/campaigns/"+submitted.ID, &finished)
+		if finished.State == stateDone || finished.State == stateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck in state %q", finished.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if finished.State != stateDone {
+		t.Fatalf("campaign failed: %s", finished.Error)
+	}
+	if finished.Result == nil {
+		t.Fatal("finished campaign has no result")
+	}
+	cells, ok := finished.Result.([]any)
+	if !ok || len(cells) == 0 {
+		t.Fatalf("fig6 result is not a non-empty array: %T", finished.Result)
+	}
+
+	// The job listing shows it done, without the result payload.
+	var listing struct {
+		Experiments []job `json:"experiments"`
+	}
+	getJSON(t, srv.URL+"/v1/experiments", &listing)
+	if len(listing.Experiments) != 1 {
+		t.Fatalf("listing has %d jobs, want 1", len(listing.Experiments))
+	}
+	if got := listing.Experiments[0]; got.State != stateDone || got.Result != nil {
+		t.Errorf("listing entry = state %q result %v, want done with elided result", got.State, got.Result)
+	}
+
+	// The background run filled the registry: campaign outcomes and daemon
+	// job counters are on /metrics in Prometheus text format.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"# TYPE dcrm_fault_runs_total counter",
+		`dcrm_daemon_jobs_total{kind="fig6"} 1`,
+		`dcrm_daemon_jobs_finished_total{state="done"} 1`,
+		"dcrm_experiment_tasks_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Health now reports the suite as built.
+	getJSON(t, srv.URL+"/healthz", &rep)
+	for _, c := range rep.Components {
+		if c.Name == "suite" && c.Health != "healthy" {
+			t.Errorf("suite component = %q after a campaign, want healthy", c.Health)
+		}
+	}
+}
+
+func TestDaemonRejectsUnknownKind(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"kind":"fig42"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind = %d, want 400", resp.StatusCode)
+	}
+
+	resp2, err := http.Post(srv.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestDaemonUnknownCampaign(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/campaigns/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id = %d, want 404", resp.StatusCode)
+	}
+}

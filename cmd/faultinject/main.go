@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 func main() {
@@ -28,7 +29,12 @@ func run() error {
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 7, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
 
 	suite, err := experiments.NewSuite(experiments.SuiteConfig{Workers: *workers})
 	if err != nil {

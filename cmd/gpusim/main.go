@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gpusim -app P-BICG [-scheme none|detection|correction] [-level N] [-scheduler gto|lrr]
+//	gpusim -app P-BICG [-scheme none|detection|correction] [-level N] [-scheduler gto|lrr] [-trace out.json]
 package main
 
 import (
@@ -14,7 +14,9 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 	"github.com/datacentric-gpu/dcrm/internal/timing"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 func main() {
@@ -29,7 +31,13 @@ func run() error {
 	schemeName := flag.String("scheme", "none", "protection scheme: none, detection, correction")
 	level := flag.Int("level", -1, "protected data objects, cumulative (-1 = hot objects)")
 	scheduler := flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event timeline (load in chrome://tracing or Perfetto) to this file")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
 
 	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
 	if err != nil {
@@ -82,10 +90,19 @@ func run() error {
 	if *scheduler == "lrr" {
 		eng.Policy = timing.LRR
 	}
+	if *traceFile != "" {
+		eng.Trace = telemetry.NewTrace()
+	}
 
 	st, err := eng.RunApp(app.Name, traces)
 	if err != nil {
 		return err
+	}
+	if eng.Trace != nil {
+		if err := writeTrace(*traceFile, eng.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote %d trace events to %s\n", eng.Trace.Len(), *traceFile)
 	}
 
 	var rows [][]string
@@ -115,4 +132,17 @@ func run() error {
 			c.AddrTableBytes+c.LoadTableBytes+c.CompareBufferBytes, c.ComparatorBits, c.ReplicaBytes)
 	}
 	return nil
+}
+
+// writeTrace serializes the engine's Chrome trace to path.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 func main() {
@@ -32,7 +33,12 @@ func run() error {
 	series := flag.String("series", "", "print one application's normalized read series")
 	list := flag.Bool("list", false, "list application names")
 	points := flag.Int("points", 40, "series points")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
 
 	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 func main() {
@@ -35,13 +36,16 @@ func run() error {
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress/ETA reporter")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
 	exportDir = *csvDir
 
 	cfg := experiments.SuiteConfig{Workers: *workers}
-	if !*quiet {
-		cfg.Progress = newProgressReporter(os.Stderr).Report
-	}
+	cfg.Progress = progressFunc(*quiet, os.Stderr)
 	switch *scale {
 	case "small":
 		cfg.Scale = experiments.ScaleSmall

@@ -24,6 +24,16 @@ func newProgressReporter(w io.Writer) *progressReporter {
 	return &progressReporter{w: w, now: time.Now}
 }
 
+// progressFunc returns the suite progress hook run() wires up: nil under
+// -quiet (the suite then skips event delivery entirely), otherwise a
+// reporter writing to w.
+func progressFunc(quiet bool, w io.Writer) experiments.ProgressFunc {
+	if quiet {
+		return nil
+	}
+	return newProgressReporter(w).Report
+}
+
 // Report consumes one suite progress event.
 func (r *progressReporter) Report(ev experiments.ProgressEvent) {
 	if ev.Phase != r.phase {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/experiments"
+)
+
+// fakeClock is a manually-advanced clock: now() reads the current time,
+// tests move it forward with advance().
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestProgressETA(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := &progressReporter{w: &buf, now: clk.now}
+
+	// First event starts the phase clock; the second is 10s later with
+	// 2/4 done, so the completion-rate ETA is 10s/2 * 2 remaining = 10s.
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 4})
+	clk.advance(10 * time.Second)
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 4})
+
+	out := buf.String()
+	if !strings.Contains(out, "[fig6] 2/4") {
+		t.Errorf("progress line missing counts: %q", out)
+	}
+	if !strings.Contains(out, "elapsed 10s") {
+		t.Errorf("progress line missing elapsed time: %q", out)
+	}
+	if !strings.Contains(out, "eta 10s") {
+		t.Errorf("progress line missing ETA: %q", out)
+	}
+}
+
+func TestProgressPhaseChangeResetsClock(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := &progressReporter{w: &buf, now: clk.now}
+
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
+	clk.advance(30 * time.Second)
+	buf.Reset()
+	// New phase: elapsed must restart from this event, not carry over.
+	r.Report(experiments.ProgressEvent{Phase: "fig9", Done: 1, Total: 2})
+	if out := buf.String(); !strings.Contains(out, "elapsed 0s") {
+		t.Errorf("phase change did not reset the clock: %q", out)
+	}
+}
+
+func TestProgressCompletionEndsLine(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := &progressReporter{w: &buf, now: clk.now}
+
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
+	if out := buf.String(); !strings.HasSuffix(out, "\n") {
+		t.Errorf("completed phase did not end its line: %q", out)
+	}
+	if strings.Contains(buf.String(), "eta") {
+		t.Errorf("completed phase still shows an ETA: %q", buf.String())
+	}
+}
+
+func TestProgressZeroTotal(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := &progressReporter{w: &buf, now: clk.now}
+
+	// A zero-task phase must not divide by zero or print an ETA; Done>=Total
+	// means it terminates its line immediately.
+	r.Report(experiments.ProgressEvent{Phase: "empty", Done: 0, Total: 0})
+	out := buf.String()
+	if !strings.Contains(out, "[empty] 0/0") {
+		t.Errorf("zero-task phase rendered wrong: %q", out)
+	}
+	if strings.Contains(out, "eta") {
+		t.Errorf("zero-task phase shows an ETA: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("zero-task phase did not end its line: %q", out)
+	}
+}
+
+func TestProgressFuncQuiet(t *testing.T) {
+	var buf bytes.Buffer
+	if fn := progressFunc(true, &buf); fn != nil {
+		t.Error("-quiet must disable the progress hook entirely, got non-nil func")
+	}
+	if fn := progressFunc(false, &buf); fn == nil {
+		t.Error("progress hook missing when not quiet")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("constructing the hook wrote output: %q", buf.String())
+	}
+}
+
+// TestProgressWriterIsolated asserts the reporter writes only to its own
+// writer — results printed to stdout stay byte-identical whether or not
+// progress reporting is on.
+func TestProgressWriterIsolated(t *testing.T) {
+	var progress bytes.Buffer
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	r := newProgressReporter(&progress)
+	r.now = clk.now
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
+	clk.advance(time.Second)
+	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
+	if progress.Len() == 0 {
+		t.Fatal("reporter wrote nothing to its writer")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 func main() {
@@ -32,7 +33,12 @@ func run() error {
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 11, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
+	}
 	if !*perf && !*sdc {
 		*perf, *sdc = true, true
 	}

@@ -46,6 +46,19 @@ type Stats struct {
 	DirtyEvictions uint64
 }
 
+// Add accumulates other into s field by field. Aggregators (the timing
+// engine's per-kernel rollup, the telemetry snapshotter) use it to merge
+// per-SM and per-bank counters without hand-written loops.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.ReadMisses += other.ReadMisses
+	s.Writes += other.Writes
+	s.WriteMisses += other.WriteMisses
+	s.Fills += other.Fills
+	s.Evictions += other.Evictions
+	s.DirtyEvictions += other.DirtyEvictions
+}
+
 // ReadHitRate returns the fraction of read lookups that hit.
 func (s Stats) ReadHitRate() float64 {
 	if s.Reads == 0 {

@@ -76,6 +76,16 @@ type Stats struct {
 	Served       uint64
 }
 
+// Add accumulates other into s field by field, merging per-channel
+// controller counters into an aggregate.
+func (s *Stats) Add(other Stats) {
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.RowEmpty += other.RowEmpty
+	s.TotalLatency += other.TotalLatency
+	s.Served += other.Served
+}
+
 // AvgLatency returns mean request latency in core cycles.
 func (s Stats) AvgLatency() float64 {
 	if s.Served == 0 {

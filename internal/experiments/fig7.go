@@ -110,6 +110,10 @@ func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
 			return fmt.Errorf("experiments: fig7 %s %v L%d: %w", t.app, t.scheme, t.level, err)
 		}
 		eng.Policy = policy
+		// Publish per-unit counters to the suite's registry (if observed).
+		// The registry's atomic counters merge concurrent engines safely,
+		// and observation does not affect the returned points.
+		eng.Metrics = s.cfg.Telemetry
 		st, err := eng.RunApp(t.app, traces)
 		if err != nil {
 			return fmt.Errorf("experiments: fig7 %s %v L%d: %w", t.app, t.scheme, t.level, err)

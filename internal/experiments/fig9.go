@@ -176,7 +176,7 @@ func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 		cells := make([]Fig9Cell, 0, len(cfg.Models))
 		for _, model := range cfg.Models {
 			model := model
-			campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed, Workers: s.campaignWorkers()}
+			campaign := s.campaign(cfg.Runs, cfg.Seed)
 			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
 				clone := app.Mem.Clone()
 				if _, err := fault.Inject(clone, rng, model, sel); err != nil {

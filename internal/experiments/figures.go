@@ -329,7 +329,7 @@ func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
 		}
 		for _, model := range cfg.Models {
 			model := model
-			campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed, Workers: s.campaignWorkers()}
+			campaign := s.campaign(cfg.Runs, cfg.Seed)
 			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
 				clone := app.Mem.Clone()
 				if _, err := fault.Inject(clone, rng, model, sel); err != nil {

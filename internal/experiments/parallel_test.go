@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/datacentric-gpu/dcrm/internal/fault"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 // twoSuites builds one serial and one 8-worker suite with otherwise
@@ -111,6 +112,69 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(f9s, f9p) {
 		t.Error("Fig9: parallel results differ from serial")
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults asserts the observation invariant at
+// the suite level: a telemetry-observed parallel suite produces results
+// deeply equal to an unobserved serial one, while the registry fills with
+// fan-out and campaign counters.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	serial, err := NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	observed, err := NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 8, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f6cfg := Fig6Config{
+		Runs:   24,
+		Apps:   []string{"P-BICG"},
+		Models: []fault.Model{{BitsPerWord: 2, Blocks: 1}},
+	}
+	f6s, err := Fig6HotVsRest(serial, f6cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6o, err := Fig6HotVsRest(observed, f6cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6s, f6o) {
+		t.Error("Fig6: telemetry-observed results differ from unobserved serial run")
+	}
+
+	f7cfg := Fig7Config{Apps: []string{"P-MVT"}}
+	f7s, err := Fig7Overhead(serial, f7cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7o, err := Fig7Overhead(observed, f7cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f7s, f7o) {
+		t.Error("Fig7: telemetry-observed results differ from unobserved serial run")
+	}
+
+	snap := reg.Snapshot()
+	if s, ok := snap.Get("dcrm_fault_runs_total", telemetry.Label{Name: "outcome", Value: "masked"}); !ok || s.Value == 0 {
+		t.Errorf("campaign outcome counters not published: %+v", s)
+	}
+	var tasks float64
+	for _, s := range snap {
+		if s.Name == "dcrm_experiment_tasks_total" {
+			tasks += s.Value
+		}
+	}
+	if tasks == 0 {
+		t.Error("fan-out task counters not published")
+	}
+	if s, ok := snap.Get("dcrm_timing_kernels_total"); !ok || s.Value == 0 {
+		t.Errorf("timing engine counters not published: %+v", s)
 	}
 }
 

@@ -3,6 +3,10 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 // ProgressEvent is one fan-out progress notification: Done of Total task
@@ -39,6 +43,13 @@ func (s *Suite) campaignWorkers() int {
 	return w
 }
 
+// campaign builds a fault.Campaign with the suite's nested worker bound and
+// telemetry registry, so every experiment's campaigns report live outcome
+// counters when the suite is observed.
+func (s *Suite) campaign(runs int, seed int64) fault.Campaign {
+	return fault.Campaign{Runs: runs, Seed: seed, Workers: s.campaignWorkers(), Metrics: s.cfg.Telemetry}
+}
+
 // runTasks executes n independent task units on at most s.workers()
 // goroutines and reports completion progress to the suite's ProgressFunc.
 // Task i writes its result into caller-owned slot i, so the caller
@@ -53,6 +64,23 @@ func (s *Suite) runTasks(phase string, n int, task func(i int) error) error {
 	workers := s.workers()
 	if workers > n {
 		workers = n
+	}
+
+	// Telemetry (optional): per-phase task counters, a task-duration
+	// histogram, and an in-flight gauge. The children are resolved once
+	// here, outside the worker loop.
+	var (
+		tasksDone *telemetry.Counter
+		taskSecs  *telemetry.Histogram
+		inflight  *telemetry.Gauge
+	)
+	if reg := s.cfg.Telemetry; reg != nil {
+		tasksDone = reg.CounterVec("dcrm_experiment_tasks_total",
+			"Experiment fan-out task units completed, per phase.", "phase").With(phase)
+		taskSecs = reg.HistogramVec("dcrm_experiment_task_seconds",
+			"Experiment task-unit durations in seconds, per phase.", telemetry.DefBuckets, "phase").With(phase)
+		inflight = reg.Gauge("dcrm_experiment_tasks_inflight",
+			"Experiment task units currently executing.")
 	}
 
 	var (
@@ -93,7 +121,18 @@ func (s *Suite) runTasks(phase string, n int, task func(i int) error) error {
 				if !ok {
 					return
 				}
-				finish(task(i))
+				var started time.Time
+				if tasksDone != nil {
+					inflight.Add(1)
+					started = time.Now()
+				}
+				err := task(i)
+				if tasksDone != nil {
+					inflight.Add(-1)
+					tasksDone.Inc()
+					taskSecs.Observe(time.Since(started).Seconds())
+				}
+				finish(err)
 			}
 		}()
 	}

@@ -28,6 +28,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/nn"
 	"github.com/datacentric-gpu/dcrm/internal/profile"
 	"github.com/datacentric-gpu/dcrm/internal/simt"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 // Scale selects the workload input sizes.
@@ -78,6 +79,12 @@ type SuiteConfig struct {
 	// completion events from every experiment fan-out (cmd/repro wires this
 	// to a stderr ETA reporter).
 	Progress ProgressFunc
+	// Telemetry, when non-nil, receives live counters from every experiment
+	// fan-out and fault campaign (task counts per phase, task-duration
+	// histograms, campaign outcome counts), so a long suite run can be
+	// watched over cmd/dcrmd's /metrics endpoint. Observation only: results
+	// are bit-identical with or without a registry attached.
+	Telemetry *telemetry.Registry
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {

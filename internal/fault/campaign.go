@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 // Outcome classifies one fault-injected application run.
@@ -58,6 +60,11 @@ type Campaign struct {
 	Seed int64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives live outcome counters
+	// (dcrm_fault_runs_total{outcome=...}) as runs complete, so a long
+	// campaign can be watched over a /metrics endpoint. Observation only:
+	// attaching a registry does not change campaign results.
+	Metrics *telemetry.Registry
 }
 
 // Result aggregates campaign outcomes.
@@ -124,7 +131,15 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 		next++
 		return i, true
 	}
+	var outcomes *telemetry.CounterVec
+	if c.Metrics != nil {
+		outcomes = c.Metrics.CounterVec("dcrm_fault_runs_total",
+			"Fault-injection runs completed, by outcome.", "outcome")
+	}
 	record := func(o Outcome, err error) {
+		if outcomes != nil && err == nil && o >= Masked && o <= Crashed {
+			outcomes.With(o.String()).Inc()
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 func TestModelValidate(t *testing.T) {
@@ -335,6 +336,40 @@ func BenchmarkCampaignOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Execute(func(int, *rand.Rand) (Outcome, error) { return Masked, nil }); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCampaignMetrics asserts the live outcome counters reconcile with the
+// campaign result and that attaching a registry does not change outcomes.
+func TestCampaignMetrics(t *testing.T) {
+	run := func(i int, _ *rand.Rand) (Outcome, error) {
+		switch i % 3 {
+		case 0:
+			return Masked, nil
+		case 1:
+			return SDC, nil
+		default:
+			return Detected, nil
+		}
+	}
+	bare, err := Campaign{Runs: 30, Seed: 5, Workers: 4}.Execute(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	inst, err := Campaign{Runs: 30, Seed: 5, Workers: 4, Metrics: reg}.Execute(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != bare {
+		t.Errorf("instrumented result %+v differs from bare %+v", inst, bare)
+	}
+	snap := reg.Snapshot()
+	for outcome, want := range map[string]int{"masked": inst.MaskedRuns, "sdc": inst.SDCRuns, "detected": inst.DetectedRuns} {
+		s, ok := snap.Get("dcrm_fault_runs_total", telemetry.Label{Name: "outcome", Value: outcome})
+		if !ok || int(s.Value) != want {
+			t.Errorf("counter outcome=%s = %+v, want %d", outcome, s, want)
 		}
 	}
 }

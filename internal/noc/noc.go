@@ -50,6 +50,12 @@ type Stats struct {
 	Responses uint64
 }
 
+// Add accumulates other into s field by field.
+func (s *Stats) Add(other Stats) {
+	s.Requests += other.Requests
+	s.Responses += other.Responses
+}
+
 // New builds a crossbar for the configuration. The configured interconnect
 // latency is split evenly across the two hops of each direction.
 func New(cfg arch.Config) (*Crossbar, error) {

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free: a binary
+// search over the (immutable) bounds plus two atomic adds.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, excluding +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func validateBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bucket bounds not ascending: %v", name, buckets))
+		}
+	}
+	out := make([]float64, len(buckets))
+	copy(out, buckets)
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// sample renders the histogram with cumulative bucket counts.
+func (h *Histogram) sample(name string, labels []Label) Sample {
+	s := Sample{Name: name, Labels: labels, Kind: KindHistogram, Value: h.Sum(), Count: h.Count()}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+	return s
+}
+
+// DefBuckets is a general-purpose set of duration buckets in seconds,
+// spanning 1 ms to ~100 s geometrically.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}

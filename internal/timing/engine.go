@@ -8,6 +8,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/dram"
 	"github.com/datacentric-gpu/dcrm/internal/noc"
 	"github.com/datacentric-gpu/dcrm/internal/simt"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
 // l2bank is one channel's L2 slice plus its (unbounded, merging) miss
@@ -32,8 +33,19 @@ type Engine struct {
 	// TrackBlockMisses enables the per-block L1-miss histogram used to
 	// weight Fig. 9's fault injection.
 	TrackBlockMisses bool
+	// Metrics, when non-nil, receives per-SM, per-L2-bank, and per-DRAM-
+	// channel counters after every kernel. The hot event loop is untouched
+	// — counters are published from the per-component Stats at kernel
+	// boundaries — so attaching a registry neither perturbs results nor
+	// costs measurable time (see BenchmarkRunKernelTelemetry).
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records a Chrome trace_event timeline: one lane
+	// per SM, per L2 bank, and per DRAM channel, with one span per kernel
+	// and per-channel counter tracks.
+	Trace *telemetry.Trace
 
 	blockMisses map[arch.BlockAddr]uint64
+	traceMeta   bool // lane-metadata events emitted (once per engine)
 
 	plan  ProtectionPlan
 	xbar  *noc.Crossbar
@@ -130,7 +142,9 @@ func (e *Engine) RunKernel(tr *simt.KernelTrace) (KernelStats, error) {
 	if e.liveWarps != 0 {
 		return KernelStats{}, fmt.Errorf("timing: kernel %q deadlocked with %d live warps", tr.Kernel, e.liveWarps)
 	}
-	return e.collectStats(tr.Kernel, e.now-start), nil
+	ks := e.collectStats(tr.Kernel, e.now-start)
+	e.publishTelemetry(ks, start)
+	return ks, nil
 }
 
 // RunApp replays an application's kernels back-to-back (L1s invalidated at
@@ -194,28 +208,15 @@ func (e *Engine) collectStats(kernel string, cycles int64) KernelStats {
 		MSHRStalls:       e.mshrStalls,
 		CompareStalls:    e.cmpStalls,
 	}
-	add := func(dst *cache.Stats, src cache.Stats) {
-		dst.Reads += src.Reads
-		dst.ReadMisses += src.ReadMisses
-		dst.Writes += src.Writes
-		dst.WriteMisses += src.WriteMisses
-		dst.Fills += src.Fills
-		dst.Evictions += src.Evictions
-		dst.DirtyEvictions += src.DirtyEvictions
-	}
 	for _, s := range e.sms {
-		add(&ks.L1, s.l1.Stats)
+		ks.L1.Add(s.l1.Stats)
 		ks.Instructions += s.instructions
 	}
 	for _, b := range e.banks {
-		add(&ks.L2, b.c.Stats)
+		ks.L2.Add(b.c.Stats)
 	}
 	for _, d := range e.drams {
-		ks.DRAM.RowHits += d.Stats.RowHits
-		ks.DRAM.RowMisses += d.Stats.RowMisses
-		ks.DRAM.RowEmpty += d.Stats.RowEmpty
-		ks.DRAM.Served += d.Stats.Served
-		ks.DRAM.TotalLatency += d.Stats.TotalLatency
+		ks.DRAM.Add(d.Stats)
 	}
 	return ks
 }

@@ -1,0 +1,114 @@
+package timing
+
+import "strconv"
+
+// Trace lane process ids: one Chrome trace "process" per component class,
+// one "thread" per hardware unit within it.
+const (
+	tracePidSM   = 1
+	tracePidL2   = 2
+	tracePidDRAM = 3
+)
+
+// publishTelemetry exports one finished kernel's per-unit statistics to the
+// attached collectors. It runs at kernel boundaries only: the engine's hot
+// event loop never touches telemetry, which is what keeps the instrumented
+// engine within noise of the baseline (the overhead benchmark guards this)
+// and guarantees observation cannot perturb simulation results.
+func (e *Engine) publishTelemetry(ks KernelStats, start int64) {
+	if e.Metrics != nil {
+		e.publishMetrics(ks)
+	}
+	if e.Trace != nil {
+		e.publishTrace(ks, start)
+	}
+}
+
+func (e *Engine) publishMetrics(ks KernelStats) {
+	r := e.Metrics
+	kernels := r.Counter("dcrm_timing_kernels_total", "Kernels completed by the timing engine.")
+	cycles := r.Counter("dcrm_timing_cycles_total", "Core-clock cycles simulated across kernels.")
+	kernels.Inc()
+	cycles.Add(uint64(ks.Cycles))
+
+	smInstr := r.CounterVec("dcrm_sm_instructions_total", "Warp instructions issued, per SM.", "sm")
+	l1Reads := r.CounterVec("dcrm_l1_reads_total", "L1 read lookups, per SM.", "sm")
+	l1Misses := r.CounterVec("dcrm_l1_read_misses_total", "L1 read misses, per SM.", "sm")
+	for _, s := range e.sms {
+		id := strconv.Itoa(s.id)
+		smInstr.With(id).Add(s.instructions)
+		l1Reads.With(id).Add(s.l1.Stats.Reads)
+		l1Misses.With(id).Add(s.l1.Stats.ReadMisses)
+	}
+
+	l2Reads := r.CounterVec("dcrm_l2_reads_total", "L2 read lookups, per bank.", "bank")
+	l2Misses := r.CounterVec("dcrm_l2_read_misses_total", "L2 read misses, per bank.", "bank")
+	l2Writebacks := r.CounterVec("dcrm_l2_dirty_evictions_total", "L2 dirty-line write-backs, per bank.", "bank")
+	for ch, b := range e.banks {
+		id := strconv.Itoa(ch)
+		l2Reads.With(id).Add(b.c.Stats.Reads)
+		l2Misses.With(id).Add(b.c.Stats.ReadMisses)
+		l2Writebacks.With(id).Add(b.c.Stats.DirtyEvictions)
+	}
+
+	served := r.CounterVec("dcrm_dram_requests_total", "DRAM requests served, per channel.", "channel")
+	rowHits := r.CounterVec("dcrm_dram_row_hits_total", "DRAM row-buffer hits, per channel.", "channel")
+	latency := r.CounterVec("dcrm_dram_latency_cycles_total", "Summed DRAM request latency in core cycles, per channel.", "channel")
+	for ch, d := range e.drams {
+		id := strconv.Itoa(ch)
+		served.With(id).Add(d.Stats.Served)
+		rowHits.With(id).Add(d.Stats.RowHits)
+		latency.With(id).Add(d.Stats.TotalLatency)
+	}
+
+	r.Counter("dcrm_noc_requests_total", "Crossbar request traversals.").Add(ks.NoC.Requests)
+	r.Counter("dcrm_noc_responses_total", "Crossbar response traversals.").Add(ks.NoC.Responses)
+	r.Counter("dcrm_copy_transactions_total", "Extra LD/ST transactions for replica copies.").Add(ks.CopyTransactions)
+	r.Counter("dcrm_mshr_stalls_total", "Warp issue retries due to a full MSHR table.").Add(ks.MSHRStalls)
+	r.Counter("dcrm_compare_stalls_total", "Warp issue retries due to a full pending-compare buffer.").Add(ks.CompareStalls)
+}
+
+func (e *Engine) publishTrace(ks KernelStats, start int64) {
+	tr := e.Trace
+	if !e.traceMeta {
+		e.traceMeta = true
+		tr.NameProcess(tracePidSM, "SMs")
+		for _, s := range e.sms {
+			tr.NameThread(tracePidSM, s.id, "SM "+strconv.Itoa(s.id))
+		}
+		tr.NameProcess(tracePidL2, "L2 banks")
+		tr.NameProcess(tracePidDRAM, "DRAM channels")
+		for ch := range e.banks {
+			tr.NameThread(tracePidL2, ch, "L2 bank "+strconv.Itoa(ch))
+			tr.NameThread(tracePidDRAM, ch, "DRAM ch "+strconv.Itoa(ch))
+		}
+	}
+	dur := ks.Cycles
+	if dur < 1 {
+		dur = 1
+	}
+	for _, s := range e.sms {
+		tr.Span(tracePidSM, s.id, ks.Kernel, start, dur, map[string]any{
+			"instructions":   s.instructions,
+			"l1_reads":       s.l1.Stats.Reads,
+			"l1_read_misses": s.l1.Stats.ReadMisses,
+		})
+	}
+	for ch, b := range e.banks {
+		tr.Span(tracePidL2, ch, ks.Kernel, start, dur, map[string]any{
+			"reads":           b.c.Stats.Reads,
+			"read_misses":     b.c.Stats.ReadMisses,
+			"dirty_evictions": b.c.Stats.DirtyEvictions,
+		})
+	}
+	for ch, d := range e.drams {
+		tr.Span(tracePidDRAM, ch, ks.Kernel, start, dur, map[string]any{
+			"served":     d.Stats.Served,
+			"row_hits":   d.Stats.RowHits,
+			"row_misses": d.Stats.RowMisses,
+		})
+		tr.CounterEvent(tracePidDRAM, "dram_ch"+strconv.Itoa(ch)+"_served", start+dur, map[string]float64{
+			"served": float64(d.Stats.Served),
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Package version reports the build's module version and VCS revision from
+// the information the Go toolchain embeds at link time, so every CLI can
+// answer -version without a hand-maintained constant or ldflags plumbing.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String renders a one-line version banner: module version, VCS revision
+// (short, with a +dirty marker for modified checkouts), and Go toolchain.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dcrm (version unknown: built without module support)"
+	}
+	v := info.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		return fmt.Sprintf("dcrm %s (%s)", v, info.GoVersion)
+	}
+	return fmt.Sprintf("dcrm %s (rev %s%s, %s)", v, rev, dirty, info.GoVersion)
+}

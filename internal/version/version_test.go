@@ -1,0 +1,20 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmpty(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "dcrm ") {
+		t.Errorf("version banner %q does not start with the module name", s)
+	}
+	if strings.ContainsAny(s, "\n\r") {
+		t.Errorf("version banner %q is not a single line", s)
+	}
+	// Test binaries embed build info, so the Go toolchain must be present.
+	if !strings.Contains(s, "go1") && !strings.Contains(s, "unknown") {
+		t.Errorf("version banner %q names no Go toolchain", s)
+	}
+}
