@@ -8,12 +8,15 @@
 // Usage:
 //
 //	repro [-runs 200] [-workers 0] [-fig 3|4|6|7|9] [-table 1|2|3] [-scale small] [-csv dir]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
@@ -36,12 +39,19 @@ func run() error {
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress/ETA reporter")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return nil
 	}
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 	exportDir = *csvDir
 
 	cfg := experiments.SuiteConfig{Workers: *workers}
@@ -108,6 +118,44 @@ func run() error {
 
 // exportDir receives CSV exports when the -csv flag is set.
 var exportDir string
+
+// startProfiling starts a CPU profile and arranges a heap profile snapshot,
+// as requested; the returned stop function finalizes both and must run
+// before process exit.
+func startProfiling(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}
 
 func section(title string) {
 	fmt.Printf("\n================ %s ================\n\n", title)

@@ -201,7 +201,7 @@ func TestTableIGeometries(t *testing.T) {
 }
 
 func TestMSHRMergeAndComplete(t *testing.T) {
-	m, err := NewMSHR(2)
+	m, err := NewMSHR[uint64](2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestMSHRMergeAndComplete(t *testing.T) {
 }
 
 func TestMSHRReset(t *testing.T) {
-	m, err := NewMSHR(4)
+	m, err := NewMSHR[uint64](4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestMSHRReset(t *testing.T) {
 }
 
 func TestMSHRRejectsBadCapacity(t *testing.T) {
-	if _, err := NewMSHR(0); err == nil {
+	if _, err := NewMSHR[uint64](0); err == nil {
 		t.Error("zero capacity accepted")
 	}
 }

@@ -11,20 +11,38 @@ import (
 // memory request serves every waiting consumer. The table has a fixed number
 // of entries; when full, new misses must stall — the structural hazard that
 // bounds memory-level parallelism per SM.
-type MSHR struct {
-	capacity int
-	pending  map[arch.BlockAddr][]uint64
+//
+// The table is generic over its waiter payload so consumers attach whatever
+// they need to a miss without an indirection table: the timing engine stores
+// generation-tagged copy-group references directly. Entries live in a fixed
+// slot array sized to the capacity and are found by linear scan — at
+// hardware-realistic capacities (tens of entries) that is faster than a map
+// and, together with per-slot waiter slices that are recycled in place,
+// keeps the steady state allocation-free.
+type MSHR[T any] struct {
+	slots []mshrSlot[T]
+	inUse int
+}
+
+type mshrSlot[T any] struct {
+	block   arch.BlockAddr
+	valid   bool
+	waiters []T
 }
 
 // NewMSHR builds a table with the given entry budget.
-func NewMSHR(capacity int) (*MSHR, error) {
+func NewMSHR[T any](capacity int) (*MSHR[T], error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("cache: MSHR capacity must be positive, got %d", capacity)
 	}
-	return &MSHR{
-		capacity: capacity,
-		pending:  make(map[arch.BlockAddr][]uint64, capacity),
-	}, nil
+	m := &MSHR[T]{slots: make([]mshrSlot[T], capacity)}
+	for i := range m.slots {
+		// Pre-size the waiter lists so steady-state Allocate calls never
+		// touch the heap; a slot only grows past this on deep merging and
+		// then keeps its high-water capacity.
+		m.slots[i].waiters = make([]T, 0, 8)
+	}
+	return m, nil
 }
 
 // Outcome of an MSHR allocation attempt.
@@ -58,45 +76,68 @@ func (o MSHROutcome) String() string {
 	}
 }
 
-// Allocate registers requester id as waiting on block b.
-func (m *MSHR) Allocate(b arch.BlockAddr, id uint64) MSHROutcome {
-	if waiters, ok := m.pending[b]; ok {
-		m.pending[b] = append(waiters, id)
-		return MSHRMerged
+// Allocate registers payload as waiting on block b.
+func (m *MSHR[T]) Allocate(b arch.BlockAddr, payload T) MSHROutcome {
+	free := -1
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.valid {
+			if s.block == b {
+				s.waiters = append(s.waiters, payload)
+				return MSHRMerged
+			}
+		} else if free == -1 {
+			free = i
+		}
 	}
-	if len(m.pending) >= m.capacity {
+	if free == -1 {
 		return MSHRFull
 	}
-	m.pending[b] = []uint64{id}
+	s := &m.slots[free]
+	s.block = b
+	s.valid = true
+	s.waiters = append(s.waiters[:0], payload)
+	m.inUse++
 	return MSHRNew
 }
 
 // Complete releases the entry for block b, returning every waiter in
-// allocation order. Completing an unknown block returns nil.
-func (m *MSHR) Complete(b arch.BlockAddr) []uint64 {
-	waiters, ok := m.pending[b]
-	if !ok {
-		return nil
+// allocation order. Completing an unknown block returns nil. The returned
+// slice aliases the freed slot's storage: it is valid until a subsequent
+// Allocate reuses the slot, so callers must consume it before allocating.
+func (m *MSHR[T]) Complete(b arch.BlockAddr) []T {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.valid && s.block == b {
+			s.valid = false
+			m.inUse--
+			return s.waiters
+		}
 	}
-	delete(m.pending, b)
-	return waiters
+	return nil
 }
 
 // Pending reports whether block b has an outstanding fill.
-func (m *MSHR) Pending(b arch.BlockAddr) bool {
-	_, ok := m.pending[b]
-	return ok
+func (m *MSHR[T]) Pending(b arch.BlockAddr) bool {
+	for i := range m.slots {
+		if m.slots[i].valid && m.slots[i].block == b {
+			return true
+		}
+	}
+	return false
 }
 
 // InUse returns the number of occupied entries.
-func (m *MSHR) InUse() int { return len(m.pending) }
+func (m *MSHR[T]) InUse() int { return m.inUse }
 
 // Capacity returns the entry budget.
-func (m *MSHR) Capacity() int { return m.capacity }
+func (m *MSHR[T]) Capacity() int { return len(m.slots) }
 
-// Reset drops every entry.
-func (m *MSHR) Reset() {
-	for k := range m.pending {
-		delete(m.pending, k)
+// Reset drops every entry, keeping the waiter slices for reuse.
+func (m *MSHR[T]) Reset() {
+	for i := range m.slots {
+		m.slots[i].valid = false
+		m.slots[i].waiters = m.slots[i].waiters[:0]
 	}
+	m.inUse = 0
 }

@@ -120,7 +120,11 @@ func NewController(cfg arch.Config) (*Controller, error) {
 		banks[i].openRow = -1
 	}
 	return &Controller{
-		banks:  banks,
+		banks: banks,
+		// Pre-size the request queue so steady-state Enqueue traffic never
+		// grows the backing array; depth only exceeds this under extreme
+		// write bursts, and the queue then keeps its high-water capacity.
+		queue:  make([]pending, 0, 512),
 		numCh:  cfg.NumMemChannels,
 		tRCD:   scale(cfg.DRAMTiming.TRCD),
 		tRP:    scale(cfg.DRAMTiming.TRP),
@@ -158,15 +162,22 @@ func (c *Controller) Busy(now int64) bool {
 // returning their completions (possibly completing after now; the caller
 // delivers them when due). FR-FCFS: row-hit first, oldest otherwise.
 func (c *Controller) Advance(now int64) []Completion {
-	var done []Completion
+	return c.AdvanceAppend(nil, now)
+}
+
+// AdvanceAppend is Advance with caller-supplied storage: completions are
+// appended to dst and the extended slice returned. The timing engine passes
+// a per-engine scratch buffer so the steady-state replay loop never
+// allocates here.
+func (c *Controller) AdvanceAppend(dst []Completion, now int64) []Completion {
 	for len(c.queue) > 0 {
 		comp, ok := c.scheduleOne(now)
 		if !ok {
 			break
 		}
-		done = append(done, comp)
+		dst = append(dst, comp)
 	}
-	return done
+	return dst
 }
 
 // scheduleOne picks and serves a single request if service can start by

@@ -11,18 +11,86 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
+// groupRef is the MSHR waiter payload: a copy-group plus the group's
+// generation at allocation time. A completion whose generation no longer
+// matches refers to a group already recycled through the pool and is
+// dropped — stale fills can never corrupt a reused group.
+type groupRef struct {
+	g   *copyGroup
+	gen uint32
+}
+
 // l2bank is one channel's L2 slice plus its (unbounded, merging) miss
-// tracking: waiters maps an in-flight block to the SMs awaiting it.
+// tracking. Waiters live in a slot array keyed by block — the same shape
+// as the L1 MSHR — rather than a map: under the constant key churn of
+// in-flight fills a map sporadically allocates overflow buckets forever,
+// while the slot array and its per-slot SM lists reach a high-water mark
+// and are then reused in place, keeping the steady state allocation-free.
 type l2bank struct {
 	c          *cache.Cache
 	portFreeAt int64
-	waiters    map[arch.BlockAddr][]int
+	waitSlots  []l2waitSlot
+}
+
+// l2waitSlot tracks one in-flight fill and the SMs awaiting it, in arrival
+// order.
+type l2waitSlot struct {
+	blk   arch.BlockAddr
+	valid bool
+	sms   []int32
+}
+
+// addWaiter records smID as waiting on blk's fill and reports whether a
+// fill was already outstanding (merged); the caller enqueues the DRAM
+// request only for the first waiter.
+func (b *l2bank) addWaiter(blk arch.BlockAddr, smID int32) (merged bool) {
+	free := -1
+	for i := range b.waitSlots {
+		s := &b.waitSlots[i]
+		if s.valid {
+			if s.blk == blk {
+				s.sms = append(s.sms, smID)
+				return true
+			}
+		} else if free == -1 {
+			free = i
+		}
+	}
+	if free == -1 {
+		b.waitSlots = append(b.waitSlots, l2waitSlot{sms: make([]int32, 0, 8)})
+		free = len(b.waitSlots) - 1
+	}
+	s := &b.waitSlots[free]
+	s.blk, s.valid = blk, true
+	s.sms = append(s.sms[:0], smID)
+	return false
+}
+
+// takeWaiters releases blk's waiter list, returning the SM ids in arrival
+// order, or nil when no fill is outstanding. The slice aliases the slot's
+// storage and is valid until the slot is reused by a later addWaiter.
+func (b *l2bank) takeWaiters(blk arch.BlockAddr) []int32 {
+	for i := range b.waitSlots {
+		s := &b.waitSlots[i]
+		if s.valid && s.blk == blk {
+			s.valid = false
+			return s.sms
+		}
+	}
+	return nil
 }
 
 // Engine is the timing simulator. Build one with New, then replay kernel
 // traces with RunKernel; L2 and DRAM state persist across kernels of the
 // same application while L1s are invalidated at kernel boundaries. Not safe
 // for concurrent use.
+//
+// The engine is allocation-free in steady state: replaying the same (or a
+// same-shaped) kernel repeatedly on one engine performs zero heap
+// allocations per replay. Events are value types in a non-boxing
+// scheduler, copy-groups and load-ops are pooled on free-lists, warp state
+// lives in a reusable slab, and every auxiliary slice (CTA queue, L2
+// waiter lists, DRAM completion scratch) is recycled across kernels.
 type Engine struct {
 	cfg arch.Config
 	// Policy selects the warp scheduler (default GTO).
@@ -56,16 +124,21 @@ type Engine struct {
 	sched scheduler
 	now   int64
 
-	groups      map[uint64]*copyGroup
-	nextGroupID uint64
+	// Free-lists and reusable buffers; see the allocation contract above.
+	groupPool   []*copyGroup
+	loadPool    []*loadOp
+	warpSlab    []warpState
+	warpNext    int
+	dramScratch []dram.Completion
 	dramPumpAt  []int64
 
 	// Per-kernel bookkeeping.
 	trace        *simt.KernelTrace
 	ctaQueue     []int
+	ctaHead      int // dispatch position within ctaQueue (no reslicing)
 	warpsPerCTA  int
 	maxCTAsPerSM int
-	ctaLiveWarps map[int]int
+	ctaLiveWarps []int // live warps per CTA, indexed by CTA id
 	liveWarps    int
 	copyTx       uint64
 	mshrStalls   uint64
@@ -88,7 +161,6 @@ func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
 		CompareBufferSize: CompareBufferEntries,
 		plan:              plan,
 		xbar:              xbar,
-		groups:            make(map[uint64]*copyGroup),
 		dramPumpAt:        make([]int64, cfg.NumMemChannels),
 		blockMisses:       make(map[arch.BlockAddr]uint64),
 	}
@@ -97,7 +169,7 @@ func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("timing: L2 bank %d: %w", ch, err)
 		}
-		e.banks = append(e.banks, &l2bank{c: c, waiters: make(map[arch.BlockAddr][]int)})
+		e.banks = append(e.banks, &l2bank{c: c})
 		ctl, err := dram.NewController(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("timing: DRAM channel %d: %w", ch, err)
@@ -110,13 +182,118 @@ func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("timing: L1 %d: %w", i, err)
 		}
-		mshr, err := cache.NewMSHR(cfg.L1MSHRs)
+		mshr, err := cache.NewMSHR[groupRef](cfg.L1MSHRs)
 		if err != nil {
 			return nil, fmt.Errorf("timing: MSHR %d: %w", i, err)
 		}
 		e.sms = append(e.sms, &smState{id: i, engine: e, l1: l1, mshr: mshr, lastIssued: -1, stepScheduledAt: -1})
 	}
+	// Pre-fill the free-lists and waiter slots past their expected
+	// high-water marks (bounded by outstanding L1 misses and resident
+	// warps) so the replay loop reaches its allocation-free steady state
+	// on the first kernel rather than trickling pool growth across many
+	// replays as cache state evolves.
+	for i := 0; i < cfg.NumSMs*cfg.L1MSHRs; i++ {
+		e.groupPool = append(e.groupPool, &copyGroup{})
+	}
+	for i := 0; i < cfg.NumSMs*cfg.MaxWarpsPerSM; i++ {
+		e.loadPool = append(e.loadPool, &loadOp{})
+	}
+	for _, b := range e.banks {
+		b.waitSlots = make([]l2waitSlot, 0, 64)
+		for i := 0; i < 64; i++ {
+			b.waitSlots = append(b.waitSlots, l2waitSlot{sms: make([]int32, 0, 16)})
+		}
+	}
 	return e, nil
+}
+
+// post enqueues a typed event due at cycle `at`.
+func (e *Engine) post(at int64, ev event) {
+	ev.at = at
+	e.sched.schedule(ev, e.now)
+}
+
+// dispatch executes one popped event. The switch bodies mirror the
+// closures of the original engine one for one, including the staleness
+// guards that let superseded step and pump markers die silently.
+func (e *Engine) dispatch(ev *event) {
+	now := e.now
+	switch ev.kind {
+	case evSMStep:
+		s := e.sms[ev.sm]
+		if s.stepScheduledAt == now {
+			s.step(now)
+		}
+	case evGroupArrive:
+		if ev.g.gen == ev.gen {
+			ev.g.arrive(now, e.sms[ev.sm])
+		}
+	case evL2Access:
+		e.l2Access(int(ev.sm), int(ev.ch), ev.blk, now, ev.write)
+	case evSMReceive:
+		e.smReceive(e.sms[ev.sm], ev.blk, now)
+	case evDRAMComplete:
+		e.dramComplete(int(ev.ch), ev.blk, ev.write, now)
+	case evDRAMPump:
+		ch := int(ev.ch)
+		if e.dramPumpAt[ch] == now {
+			e.dramPumpAt[ch] = -1
+			e.pumpDRAM(ch, now)
+		}
+	}
+}
+
+// takeGroup pops a copy-group from the pool (or grows it), initializing
+// the tracking fields. The generation survives from the pooled object so
+// outstanding references from a previous life stay invalid.
+func (e *Engine) takeGroup(op *loadOp, total, needed int, protected bool) *copyGroup {
+	var g *copyGroup
+	if n := len(e.groupPool); n > 0 {
+		g = e.groupPool[n-1]
+		e.groupPool = e.groupPool[:n-1]
+	} else {
+		g = &copyGroup{}
+	}
+	g.op = op
+	g.total = total
+	g.needed = needed
+	g.arrived = 0
+	g.protected = protected
+	g.doneSent = false
+	return g
+}
+
+// releaseGroup recycles a fully arrived copy-group, bumping its generation
+// so any stale reference (event or MSHR waiter) is recognizably dead.
+func (e *Engine) releaseGroup(g *copyGroup) {
+	g.gen++
+	g.op = nil
+	e.groupPool = append(e.groupPool, g)
+}
+
+// takeLoadOp pops a load-op from the pool (or grows it).
+func (e *Engine) takeLoadOp(w *warpState, s *smState, remaining int) *loadOp {
+	var op *loadOp
+	if n := len(e.loadPool); n > 0 {
+		op = e.loadPool[n-1]
+		e.loadPool = e.loadPool[:n-1]
+	} else {
+		op = &loadOp{}
+	}
+	op.warp = w
+	op.sm = s
+	op.remaining = remaining
+	return op
+}
+
+// releaseLoadOp recycles a completed load-op. Copy-groups that already
+// consumed their blockDone never touch the op again (doneSent), so the
+// object is safe to reuse immediately.
+func (e *Engine) releaseLoadOp(op *loadOp) {
+	op.warp = nil
+	op.sm = nil
+	e.loadPool = append(e.loadPool, op)
 }
 
 // RunKernel replays one kernel trace to completion and returns its stats.
@@ -137,7 +314,7 @@ func (e *Engine) RunKernel(tr *simt.KernelTrace) (KernelStats, error) {
 			return KernelStats{}, fmt.Errorf("timing: time ran backwards: %d < %d", ev.at, e.now)
 		}
 		e.now = ev.at
-		ev.fn(e.now)
+		e.dispatch(&ev)
 	}
 	if e.liveWarps != 0 {
 		return KernelStats{}, fmt.Errorf("timing: kernel %q deadlocked with %d live warps", tr.Kernel, e.liveWarps)
@@ -165,6 +342,7 @@ func (e *Engine) resetForKernel(tr *simt.KernelTrace) {
 	e.trace = tr
 	e.warpsPerCTA = tr.WarpsPerCTA
 	e.ctaQueue = e.ctaQueue[:0]
+	e.ctaHead = 0
 	for c := 0; c < tr.NumCTAs; c++ {
 		e.ctaQueue = append(e.ctaQueue, c)
 	}
@@ -175,7 +353,20 @@ func (e *Engine) resetForKernel(tr *simt.KernelTrace) {
 	if e.maxCTAsPerSM < 1 {
 		e.maxCTAsPerSM = 1
 	}
-	e.ctaLiveWarps = make(map[int]int, tr.NumCTAs)
+	if cap(e.ctaLiveWarps) < tr.NumCTAs {
+		e.ctaLiveWarps = make([]int, tr.NumCTAs)
+	} else {
+		e.ctaLiveWarps = e.ctaLiveWarps[:tr.NumCTAs]
+		for i := range e.ctaLiveWarps {
+			e.ctaLiveWarps[i] = 0
+		}
+	}
+	if cap(e.warpSlab) < len(tr.Warps) {
+		e.warpSlab = make([]warpState, len(tr.Warps))
+	} else {
+		e.warpSlab = e.warpSlab[:len(tr.Warps)]
+	}
+	e.warpNext = 0
 	e.liveWarps = 0
 	e.copyTx, e.mshrStalls, e.cmpStalls = 0, 0, 0
 	e.xbar.Stats = noc.Stats{}
@@ -226,16 +417,20 @@ func (e *Engine) collectStats(kernel string, cycles int64) KernelStats {
 // callers must not mutate it.
 func (e *Engine) BlockMisses() map[arch.BlockAddr]uint64 { return e.blockMisses }
 
-// dispatchTo fills an SM with CTAs up to its occupancy limit.
+// dispatchTo fills an SM with CTAs up to its occupancy limit. Warp state
+// comes from the engine's slab: one slot per trace warp, reset in place at
+// each kernel boundary.
 func (e *Engine) dispatchTo(s *smState) {
-	for s.residentCTAs < e.maxCTAsPerSM && len(e.ctaQueue) > 0 {
-		cta := e.ctaQueue[0]
-		e.ctaQueue = e.ctaQueue[1:]
+	for s.residentCTAs < e.maxCTAsPerSM && e.ctaHead < len(e.ctaQueue) {
+		cta := e.ctaQueue[e.ctaHead]
+		e.ctaHead++
 		s.residentCTAs++
 		live := 0
 		for wi := 0; wi < e.warpsPerCTA; wi++ {
 			trace := e.trace.Warps[cta*e.warpsPerCTA+wi]
-			w := &warpState{trace: trace, age: s.ageCounter, cta: cta, readyAt: e.now}
+			w := &e.warpSlab[e.warpNext]
+			e.warpNext++
+			*w = warpState{trace: trace, age: s.ageCounter, cta: cta, readyAt: e.now}
 			s.ageCounter++
 			if len(trace) == 0 {
 				w.retired = true
@@ -248,7 +443,6 @@ func (e *Engine) dispatchTo(s *smState) {
 		e.liveWarps += live
 		if live == 0 {
 			s.residentCTAs--
-			delete(e.ctaLiveWarps, cta)
 		}
 	}
 }
@@ -260,7 +454,6 @@ func (e *Engine) warpRetired(s *smState, w *warpState) {
 	if e.ctaLiveWarps[w.cta] > 0 {
 		return
 	}
-	delete(e.ctaLiveWarps, w.cta)
 	s.residentCTAs--
 	// Drop the CTA's warps from the resident set.
 	kept := s.warps[:0]
@@ -285,15 +478,11 @@ func (e *Engine) scheduleStep(s *smState, at int64) {
 		return
 	}
 	s.stepScheduledAt = at
-	// The closure only runs when it is still the SM's current step event:
+	// The event only acts when it is still the SM's current step marker:
 	// superseded (stale) events die silently, which keeps the event count
 	// linear in useful work. The marker always names exactly one live
 	// event, so no wake-up is ever lost.
-	e.sched.schedule(at, func(now int64) {
-		if s.stepScheduledAt == now {
-			s.step(now)
-		}
-	})
+	e.post(at, event{kind: evSMStep, sm: int32(s.id)})
 }
 
 // wakeSM nudges the SM's issue loop at the current cycle, unblocking any
@@ -314,7 +503,7 @@ func (e *Engine) wakeSM(s *smState, now int64) {
 func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
 	if w.curLoad == nil {
 		w.pendingLoads++
-		w.curLoad = &loadOp{warp: w, remaining: len(in.Blocks), sm: s}
+		w.curLoad = e.takeLoadOp(w, s, len(in.Blocks))
 		s.instructions++
 	}
 	op := w.curLoad
@@ -330,8 +519,8 @@ func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
 		if s.l1.Probe(blk) {
 			// L1 hit: normal operation, no replication (Section IV-B1).
 			s.l1.Read(blk)
-			g := &copyGroup{op: op, total: 1, needed: 1}
-			e.sched.schedule(at+int64(e.cfg.L1HitLatency), func(now int64) { g.arrive(now, s) })
+			g := e.takeGroup(op, 1, 1, false)
+			e.post(at+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
 			used++
 			w.txIndex++
 			continue
@@ -360,7 +549,7 @@ func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
 		if copies == 1 || (e.plan != nil && e.plan.Lazy()) {
 			needed = 1
 		}
-		g := &copyGroup{op: op, total: copies, needed: needed, protected: copies > 1}
+		g := e.takeGroup(op, copies, needed, copies > 1)
 		if g.protected {
 			s.compareInUse++
 			e.copyTx += uint64(copies - 1)
@@ -374,23 +563,19 @@ func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
 			used++ // each copy transaction consumes an LD/ST port cycle
 			if s.l1.Read(cb) {
 				// This copy is resident in L1.
-				e.sched.schedule(txAt+int64(e.cfg.L1HitLatency), func(now int64) { g.arrive(now, s) })
+				e.post(txAt+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
 				continue
 			}
 			if e.TrackBlockMisses {
 				e.blockMisses[cb]++
 			}
-			id := e.nextGroupID
-			e.nextGroupID++
-			e.groups[id] = g
-			switch s.mshr.Allocate(cb, id) {
+			switch s.mshr.Allocate(cb, groupRef{g: g, gen: g.gen}) {
 			case cache.MSHRNew:
 				e.sendToL2(s, cb, txAt, false)
 			case cache.MSHRMerged:
 				// An earlier miss to this block is in flight; we ride it.
 			case cache.MSHRFull:
 				// Cannot happen: headroom was checked above.
-				delete(e.groups, id)
 			}
 		}
 		w.txIndex++
@@ -428,7 +613,7 @@ func (e *Engine) sendToL2(s *smState, blk arch.BlockAddr, t int64, write bool) {
 		// Unreachable by construction: SM and channel ids are in range.
 		return
 	}
-	e.sched.schedule(arrive, func(now int64) { e.l2Access(s.id, ch, blk, now, write) })
+	e.post(arrive, event{kind: evL2Access, sm: int32(s.id), ch: int32(ch), blk: blk, write: write})
 }
 
 // l2Access performs the bank lookup, serialized on the bank port.
@@ -455,11 +640,9 @@ func (e *Engine) l2Access(smID, ch int, blk arch.BlockAddr, now int64, write boo
 		return
 	}
 	// Miss: merge on an outstanding fill if one exists.
-	if ws, ok := b.waiters[blk]; ok {
-		b.waiters[blk] = append(ws, smID)
+	if b.addWaiter(blk, int32(smID)) {
 		return
 	}
-	b.waiters[blk] = []int{smID}
 	e.drams[ch].Enqueue(dram.Request{Block: blk}, st+hitLat)
 	e.pumpDRAM(ch, st+hitLat)
 }
@@ -470,21 +653,15 @@ func (e *Engine) respond(ch, smID int, blk arch.BlockAddr, t int64) {
 	if err != nil {
 		return
 	}
-	s := e.sms[smID]
-	e.sched.schedule(arrive, func(now int64) { e.smReceive(s, blk, now) })
+	e.post(arrive, event{kind: evSMReceive, sm: int32(smID), blk: blk})
 }
 
 // smReceive fills L1 and completes every waiter of the returned block.
 func (e *Engine) smReceive(s *smState, blk arch.BlockAddr, now int64) {
 	s.l1.Fill(blk)
-	for _, id := range s.mshr.Complete(blk) {
-		g, ok := e.groups[id]
-		if !ok {
-			continue
-		}
-		g.arrive(now, s)
-		if g.arrived >= g.total {
-			delete(e.groups, id)
+	for _, ref := range s.mshr.Complete(blk) {
+		if ref.g.gen == ref.gen {
+			ref.g.arrive(now, s)
 		}
 	}
 	// The MSHR entry just freed may unblock a parked warp even if no load
@@ -496,9 +673,9 @@ func (e *Engine) smReceive(s *smState, blk arch.BlockAddr, now int64) {
 // the next scheduling opportunity.
 func (e *Engine) pumpDRAM(ch int, now int64) {
 	ctl := e.drams[ch]
-	for _, comp := range ctl.Advance(now) {
-		c := comp
-		e.sched.schedule(c.At, func(at int64) { e.dramComplete(ch, c, at) })
+	e.dramScratch = ctl.AdvanceAppend(e.dramScratch[:0], now)
+	for _, comp := range e.dramScratch {
+		e.post(comp.At, event{kind: evDRAMComplete, ch: int32(ch), blk: comp.Req.Block, write: comp.Req.Write})
 	}
 	if ctl.QueueLen() == 0 {
 		return
@@ -511,29 +688,23 @@ func (e *Engine) pumpDRAM(ch int, now int64) {
 		return
 	}
 	e.dramPumpAt[ch] = next
-	e.sched.schedule(next, func(at int64) {
-		if e.dramPumpAt[ch] == at {
-			e.dramPumpAt[ch] = -1
-			e.pumpDRAM(ch, at)
-		}
-	})
+	e.post(next, event{kind: evDRAMPump, ch: int32(ch)})
 }
 
 // dramComplete fills L2 and fans the data out to waiting SMs.
-func (e *Engine) dramComplete(ch int, comp dram.Completion, now int64) {
+func (e *Engine) dramComplete(ch int, blk arch.BlockAddr, write bool, now int64) {
 	defer e.pumpDRAM(ch, now)
-	if comp.Req.Write {
+	if write {
 		return
 	}
 	b := e.banks[ch]
-	if ev, had := b.c.Fill(comp.Req.Block); had && ev.Dirty {
+	if ev, had := b.c.Fill(blk); had && ev.Dirty {
 		// Dirty victim: write back to DRAM.
 		e.drams[ch].Enqueue(dram.Request{Block: ev.Block, Write: true}, now)
 	}
-	for _, smID := range b.waiters[comp.Req.Block] {
-		e.respond(ch, smID, comp.Req.Block, now)
+	for _, smID := range b.takeWaiters(blk) {
+		e.respond(ch, int(smID), blk, now)
 	}
-	delete(b.waiters, comp.Req.Block)
 }
 
 func maxI64(a, b int64) int64 {

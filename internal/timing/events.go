@@ -11,51 +11,181 @@
 // strictly read-only, so any number of engines may replay the same
 // captured traces concurrently — the experiments package relies on this
 // to fan its (scheme, level) sweeps over a worker pool.
+//
+// # Event engine
+//
+// The scheduler is allocation-free on the hot path. Events are a tagged
+// union (kind + small payload fields) dispatched through a switch in the
+// run loop, not heap-allocated closures, and they are ordered by the same
+// (cycle, sequence) key the original container/heap implementation used:
+// earliest cycle first, scheduling order breaking ties. Two structures back
+// that order without boxing anything through an interface:
+//
+//   - a plain slice-based binary min-heap of event values for future-cycle
+//     events, and
+//   - a same-cycle FIFO for events scheduled at the cycle currently being
+//     processed — those are, by construction, already in (cycle, sequence)
+//     order, so they skip the heap entirely.
+//
+// Because the sequence counter is monotonic, any event in the heap due at
+// the current cycle was scheduled earlier (smaller seq) than every FIFO
+// entry, and the pop path's unified (at, seq) comparison preserves the
+// exact global order the boxed heap produced. Determinism is therefore
+// bit-exact with the pre-optimization engine; the golden-stats test in
+// internal/experiments pins that contract across the full workload suite.
 package timing
 
-import "container/heap"
+import "github.com/datacentric-gpu/dcrm/internal/arch"
 
-// event is one scheduled action.
+// eventKind tags which engine action an event performs when popped.
+type eventKind uint8
+
+// Event kinds. Each corresponds to one closure shape of the original
+// engine; the dispatch switch in Engine.dispatch reproduces the closure
+// bodies exactly, including the staleness guards for superseded SM-step
+// and DRAM-pump markers.
+const (
+	evNone eventKind = iota
+	// evSMStep runs an SM's issue loop if the event is still the SM's
+	// current step marker (stepScheduledAt == now).
+	evSMStep
+	// evGroupArrive delivers one copy of a load's block to its copy-group
+	// (the L1-hit latency path); the generation tag guards against a
+	// recycled group.
+	evGroupArrive
+	// evL2Access performs a bank lookup after crossbar traversal.
+	evL2Access
+	// evSMReceive fills an SM's L1 and completes the MSHR waiters.
+	evSMReceive
+	// evDRAMComplete fills L2 with DRAM data and fans it out to waiters.
+	evDRAMComplete
+	// evDRAMPump re-runs a DRAM channel's scheduler if the event is still
+	// the channel's current pump marker (dramPumpAt[ch] == now).
+	evDRAMPump
+)
+
+// event is one scheduled action: an ordering key plus a tagged payload.
+// It is a value type — events move through the heap and FIFO by copy and
+// never escape to the Go heap.
 type event struct {
-	at  int64
-	seq uint64
-	fn  func(now int64)
+	at   int64
+	seq  uint64
+	blk  arch.BlockAddr
+	g    *copyGroup
+	gen  uint32 // copy-group generation at schedule time
+	sm   int32
+	ch   int32
+	kind eventKind
+	// write distinguishes store traffic on the L2/DRAM paths.
+	write bool
 }
 
-// eventHeap is a min-heap on (at, seq); seq breaks ties deterministically in
-// scheduling order.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a orders strictly before b: earliest cycle first,
+// scheduling sequence breaking ties deterministically.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// scheduler wraps the heap with a monotonic sequence counter.
+// scheduler orders events by (at, seq) with a monotonic sequence counter.
+// Future events live in a non-boxing binary min-heap of event values;
+// events scheduled for the cycle currently being processed take a FIFO
+// fast path (they are appended in seq order, which for a single cycle IS
+// the pop order). Both backing slices are reused across kernels, so the
+// steady state performs no allocation.
 type scheduler struct {
-	h   eventHeap
-	seq uint64
+	heap     []event
+	fifo     []event
+	fifoHead int
+	seq      uint64
 }
 
-func (s *scheduler) schedule(at int64, fn func(now int64)) {
-	heap.Push(&s.h, event{at: at, seq: s.seq, fn: fn})
+// schedule enqueues ev, stamping the next sequence number. now is the
+// cycle the engine is currently processing: events due exactly now are
+// FIFO-ordered without touching the heap.
+func (s *scheduler) schedule(ev event, now int64) {
+	ev.seq = s.seq
 	s.seq++
+	if ev.at == now {
+		s.fifo = append(s.fifo, ev)
+		return
+	}
+	s.pushHeap(ev)
 }
 
-func (s *scheduler) empty() bool { return len(s.h) == 0 }
+func (s *scheduler) empty() bool {
+	return len(s.heap) == 0 && s.fifoHead == len(s.fifo)
+}
 
-func (s *scheduler) pop() event { return heap.Pop(&s.h).(event) }
+// pending returns the number of scheduled events not yet popped.
+func (s *scheduler) pending() int {
+	return len(s.heap) + len(s.fifo) - s.fifoHead
+}
+
+// pop removes and returns the globally earliest event under (at, seq).
+// The FIFO holds only events for the in-progress cycle; a heap event can
+// still precede the FIFO head when it was scheduled for this same cycle
+// at an earlier point in time (smaller seq), so the head-to-head
+// comparison below is what keeps the order bit-identical to a single
+// ordered heap.
+func (s *scheduler) pop() event {
+	if s.fifoHead < len(s.fifo) {
+		f := &s.fifo[s.fifoHead]
+		if len(s.heap) == 0 || before(f, &s.heap[0]) {
+			ev := *f
+			s.fifoHead++
+			if s.fifoHead == len(s.fifo) {
+				// Drained: rewind so the backing array is reused.
+				s.fifo = s.fifo[:0]
+				s.fifoHead = 0
+			}
+			return ev
+		}
+	}
+	return s.popHeap()
+}
+
+func (s *scheduler) pushHeap(ev event) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(&s.heap[i], &s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *scheduler) popHeap() event {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+func (s *scheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && before(&s.heap[r], &s.heap[l]) {
+			min = r
+		}
+		if !before(&s.heap[min], &s.heap[i]) {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}

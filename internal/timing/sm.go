@@ -44,7 +44,9 @@ func (w *warpState) ready(t int64) bool {
 }
 
 // loadOp tracks one in-flight load instruction: how many of its coalesced
-// block accesses still owe a completion for scoreboard purposes.
+// block accesses still owe a completion for scoreboard purposes. Load-ops
+// are pooled on the engine (takeLoadOp/releaseLoadOp); an op returns to
+// the pool the moment its last block completes.
 type loadOp struct {
 	warp      *warpState
 	remaining int
@@ -52,36 +54,47 @@ type loadOp struct {
 }
 
 // blockDone retires one block's dependency; when the whole load is done the
-// warp's scoreboard clears and the SM is woken.
+// warp's scoreboard clears, the op is recycled, and the SM is woken.
 func (op *loadOp) blockDone(now int64) {
 	op.remaining--
 	if op.remaining == 0 {
 		op.warp.pendingLoads--
-		op.sm.engine.wakeSM(op.sm, now)
+		s := op.sm
+		s.engine.releaseLoadOp(op)
+		s.engine.wakeSM(s, now)
 	}
 }
 
 // copyGroup tracks the copies of one protected (or plain) block access.
+// Groups are pooled on the engine (takeGroup/releaseGroup); gen counts the
+// object's reuses so that MSHR waiters and scheduled arrival events, which
+// carry the generation they were issued against, can detect a recycled
+// group and drop themselves.
 type copyGroup struct {
 	op        *loadOp
 	total     int // copies in flight
 	needed    int // arrivals required before blockDone (1 = lazy/unprotected)
 	arrived   int
+	gen       uint32
 	protected bool // occupies a compare-buffer entry until all copies arrive
 	doneSent  bool
 }
 
-// arrive records one copy's data arriving at the LD/ST unit.
+// arrive records one copy's data arriving at the LD/ST unit. The final
+// copy's arrival retires the group back to the engine pool.
 func (g *copyGroup) arrive(now int64, s *smState) {
 	g.arrived++
 	if !g.doneSent && g.arrived >= g.needed {
 		g.doneSent = true
 		g.op.blockDone(now)
 	}
-	if g.arrived == g.total && g.protected {
-		// Comparison (or majority vote) performed; release the entry.
-		s.compareInUse--
-		s.engine.wakeSM(s, now)
+	if g.arrived == g.total {
+		if g.protected {
+			// Comparison (or majority vote) performed; release the entry.
+			s.compareInUse--
+			s.engine.wakeSM(s, now)
+		}
+		s.engine.releaseGroup(g)
 	}
 }
 
@@ -90,7 +103,7 @@ type smState struct {
 	id     int
 	engine *Engine
 	l1     *cache.Cache
-	mshr   *cache.MSHR
+	mshr   *cache.MSHR[groupRef]
 
 	warps        []*warpState
 	lastIssued   int // index into warps, -1 initially

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate the timing-simulator benchmark baseline.
+#
+# Runs the steady-state replay benchmarks (BenchmarkRunKernel and its
+# Detection/Correction variants) and writes their ns/op, B/op, and
+# allocs/op to BENCH_timing.json (or the path given as $1). CI re-runs
+# this with a short BENCHTIME and compares against the committed baseline
+# (scripts/bench_compare.sh, warn-only).
+#
+#   scripts/bench.sh                  # refresh BENCH_timing.json (1s rounds)
+#   BENCHTIME=100x scripts/bench.sh out.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${1:-BENCH_timing.json}"
+
+raw=$(go test ./internal/timing -run '^$' \
+  -bench 'BenchmarkRunKernel(Detection|Correction)?$' \
+  -benchmem -benchtime "$BENCHTIME")
+echo "$raw" >&2
+
+echo "$raw" | awk -v benchtime="$BENCHTIME" '
+  BEGIN { n = 0 }
+  $1 ~ /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    names[n] = name; iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7
+    n++
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+      printf "    {\"name\": \"%s\", \"iterations\": %d, \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+        names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' > "$OUT"
+echo "wrote $OUT" >&2

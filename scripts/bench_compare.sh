@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Warn-only comparison of a fresh benchmark run against the committed
+# baseline. Never fails the build: shared CI runners are too noisy for a
+# hard gate, so regressions surface as WARNING lines in the job log.
+#
+#   scripts/bench_compare.sh BENCH_timing.json /tmp/bench_current.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-BENCH_timing.json}"
+CUR="${2:?usage: bench_compare.sh baseline.json current.json}"
+
+# The generator emits one benchmark object per line, so field extraction
+# needs no JSON tooling.
+parse() {
+  awk '/"name"/ {
+    name = ""; ns = ""; allocs = ""
+    nf = split($0, parts, /[,{}]/)
+    for (i = 1; i <= nf; i++) {
+      if (parts[i] ~ /"name"/)          { split(parts[i], kv, /"/); name = kv[4] }
+      if (parts[i] ~ /"ns_per_op"/)     { split(parts[i], kv, /:/); gsub(/ /, "", kv[2]); ns = kv[2] }
+      if (parts[i] ~ /"allocs_per_op"/) { split(parts[i], kv, /:/); gsub(/ /, "", kv[2]); allocs = kv[2] }
+    }
+    if (name != "") print name, ns, allocs
+  }' "$1"
+}
+
+status=ok
+while read -r name bns ballocs cns callocs; do
+  printf '%-32s ns/op %10d -> %10d    allocs/op %5d -> %5d\n' \
+    "$name" "$bns" "$cns" "$ballocs" "$callocs"
+  # 1.6x wall-clock tolerance absorbs runner noise; the allocation slack
+  # absorbs first-iteration pool ramp at short -benchtime values.
+  if [ "$cns" -gt "$((bns * 8 / 5))" ]; then
+    echo "WARNING: $name ns/op regressed ${cns} vs baseline ${bns} (>1.6x)"
+    status=warn
+  fi
+  if [ "$callocs" -gt "$((ballocs + 32))" ]; then
+    echo "WARNING: $name allocs/op regressed ${callocs} vs baseline ${ballocs}"
+    status=warn
+  fi
+done < <(join <(parse "$BASE" | sort) <(parse "$CUR" | sort))
+
+[ "$status" = ok ] && echo "benchmarks within tolerance of the committed baseline"
+exit 0
