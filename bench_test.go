@@ -15,8 +15,6 @@ import (
 	"sync"
 	"testing"
 
-	"math/rand"
-
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
@@ -330,32 +328,22 @@ func BenchmarkFunctionalRun(b *testing.B) {
 }
 
 // BenchmarkCampaignSingleConfig measures one 100-run detection campaign on
-// P-BICG under the paper's densest fault model.
+// P-BICG under the paper's densest fault model, on the fork + checkpoint
+// fast path the experiments and the public API use.
 func BenchmarkCampaignSingleConfig(b *testing.B) {
 	s := benchSuite(b)
-	golden, err := s.Golden("P-BICG")
+	cp, err := s.Checkpoint("P-BICG", core.Detection, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
-	app, plan, err := s.PlanFor("P-BICG", core.Detection, 2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sel, err := experiments.MissWeightedSelector(app, plan)
+	sel, err := cp.MissSelector()
 	if err != nil {
 		b.Fatal(err)
 	}
 	model := fault.Model{BitsPerWord: 4, Blocks: 5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		campaign := fault.Campaign{Runs: 100, Seed: int64(i + 1)}
-		_, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-			clone := app.Mem.Clone()
-			if _, err := fault.Inject(clone, rng, model, sel); err != nil {
-				return 0, err
-			}
-			return experiments.ClassifyRun(app, clone, plan, golden)
-		})
+		_, err := cp.Campaign(fault.Campaign{Runs: 100, Seed: int64(i + 1)}, model, sel)
 		if err != nil {
 			b.Fatal(err)
 		}

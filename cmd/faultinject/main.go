@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0]
+//	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0] [-quiet]
+//
+// Campaign progress (completed configurations, elapsed time, ETA) is
+// reported on stderr; -quiet silences it. Results on stdout are
+// byte-identical either way.
 package main
 
 import (
@@ -29,6 +33,7 @@ func run() error {
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 7, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -36,7 +41,10 @@ func run() error {
 		return nil
 	}
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{Workers: *workers})
+	suite, err := experiments.NewSuite(experiments.SuiteConfig{
+		Workers:  *workers,
+		Progress: experiments.Progress(*quiet, os.Stderr),
+	})
 	if err != nil {
 		return err
 	}

@@ -55,7 +55,7 @@ func run() error {
 	exportDir = *csvDir
 
 	cfg := experiments.SuiteConfig{Workers: *workers}
-	cfg.Progress = progressFunc(*quiet, os.Stderr)
+	cfg.Progress = experiments.Progress(*quiet, os.Stderr)
 	switch *scale {
 	case "small":
 		cfg.Scale = experiments.ScaleSmall

@@ -27,13 +27,11 @@ package dcrm
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
 	"github.com/datacentric-gpu/dcrm/internal/fault"
-	"github.com/datacentric-gpu/dcrm/internal/kernels"
 	"github.com/datacentric-gpu/dcrm/internal/profile"
 	"github.com/datacentric-gpu/dcrm/internal/timing"
 )
@@ -317,34 +315,23 @@ func (w *Workload) Campaign(cfg CampaignConfig) (CampaignResult, error) {
 	}
 
 	suite := w.lib.suite
-	golden, err := suite.Golden(w.name)
-	if err != nil {
-		return CampaignResult{}, err
-	}
-	var app *kernels.App
-	var plan *core.Plan
+	var cp *experiments.Checkpoint
+	var err error
 	if len(cfg.Objects) > 0 {
-		app, plan, err = suite.PlanForObjects(w.name, cfg.Scheme.internal(), cfg.Objects)
+		cp, err = suite.CheckpointForObjects(w.name, cfg.Scheme.internal(), cfg.Objects)
 	} else {
-		app, plan, err = suite.PlanFor(w.name, cfg.Scheme.internal(), cfg.Level)
+		cp, err = suite.Checkpoint(w.name, cfg.Scheme.internal(), cfg.Level)
 	}
 	if err != nil {
 		return CampaignResult{}, err
 	}
 
-	sel, err := w.selector(app, plan, cfg.Target)
+	sel, err := w.selector(cp, cfg.Target)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 
-	campaign := fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed}
-	res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-		clone := app.Mem.Clone()
-		if _, err := fault.Inject(clone, rng, cfg.Faults.internal(), sel); err != nil {
-			return 0, err
-		}
-		return experiments.ClassifyRun(app, clone, plan, golden)
-	})
+	res, err := cp.Campaign(fault.Campaign{Runs: cfg.Runs, Seed: cfg.Seed}, cfg.Faults.internal(), sel)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -359,10 +346,13 @@ func (w *Workload) Campaign(cfg CampaignConfig) (CampaignResult, error) {
 }
 
 // selector builds the fault selector for the configured target space.
-func (w *Workload) selector(app *kernels.App, plan *core.Plan, target Target) (fault.Selector, error) {
+func (w *Workload) selector(cp *experiments.Checkpoint, target Target) (fault.Selector, error) {
+	app := cp.App
 	switch target {
 	case TargetWeighted:
-		return experiments.MissWeightedSelector(app, plan)
+		// Memoized on the checkpoint: the trace capture and timing run behind
+		// the miss histogram happen once per (app, scheme, level).
+		return cp.MissSelector()
 	case TargetHot, TargetRest:
 		p, err := w.lib.suite.Profile(w.name)
 		if err != nil {

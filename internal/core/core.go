@@ -235,10 +235,11 @@ func (p *Plan) Replicas(b *mem.Buffer) []*mem.Buffer {
 	return append([]*mem.Buffer(nil), obj.replicas...)
 }
 
-// ForMemory rebinds the plan to a cloned memory image. Buffer metadata
-// (IDs, addresses) is shared between a memory and its clones, so the same
-// object table applies; statistics are fresh. Use this to run fault
-// injection campaigns against per-run clones of a prepared image.
+// ForMemory rebinds the plan to a cloned or copy-on-write forked memory
+// image. Buffer metadata (IDs, addresses) is shared between a memory and
+// its clones and forks, so the same object table applies; statistics are
+// fresh. Use this to run fault injection campaigns against per-run forks
+// of a prepared image.
 func (p *Plan) ForMemory(clone *mem.Memory) *Plan {
 	return &Plan{scheme: p.scheme, m: clone, objects: p.objects, protectedPCs: p.protectedPCs}
 }

@@ -19,7 +19,7 @@ var (
 	suiteErr  error
 )
 
-func testSuite(t *testing.T) *Suite {
+func testSuite(t testing.TB) *Suite {
 	t.Helper()
 	suiteOnce.Do(func() {
 		suiteVal, suiteErr = NewSuite(SuiteConfig{NNTrainSamples: 60})

@@ -97,12 +97,15 @@ func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
 		}
 		var tplan timing.ProtectionPlan
 		if t.scheme != core.None {
-			_, plan, err := s.PlanFor(t.app, t.scheme, t.level)
+			// The memoized campaign checkpoint carries the plan for this
+			// (app, scheme, level), so Fig. 7 and Fig. 9 share one plan
+			// construction per configuration instead of building it twice.
+			cp, err := s.Checkpoint(t.app, t.scheme, t.level)
 			if err != nil {
 				return err
 			}
-			if plan != nil {
-				tplan = plan
+			if cp.Plan != nil {
+				tplan = cp.Plan
 			}
 		}
 		eng, err := timing.New(gpu, tplan)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
@@ -128,10 +127,16 @@ func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 		apps = s.EvaluatedNames()
 	}
 
-	// Phase 1: build every application and its golden output (the shared
-	// prerequisites of every configuration task).
+	// Phase 1: build every application's baseline checkpoint (the shared
+	// prerequisite of every configuration task: image, golden output, and
+	// golden post-run state). Checkpoint goldens are lazy, so force them
+	// here to keep the golden runs on the parallel prefetch phase.
 	err := s.runTasks("fig9: goldens", len(apps), func(i int) error {
-		_, err := s.Golden(apps[i])
+		cp, err := s.Checkpoint(apps[i], core.None, 0)
+		if err != nil {
+			return err
+		}
+		_, err = cp.Golden()
 		return err
 	})
 	if err != nil {
@@ -161,29 +166,17 @@ func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 	perTask := make([][]Fig9Cell, len(tasks))
 	err = s.runTasks("fig9: campaigns", len(tasks), func(i int) error {
 		t := tasks[i]
-		golden, err := s.Golden(t.app)
+		cp, err := s.Checkpoint(t.app, t.scheme, t.level)
 		if err != nil {
 			return err
 		}
-		app, plan, err := s.PlanFor(t.app, t.scheme, t.level)
-		if err != nil {
-			return err
-		}
-		sel, err := MissWeightedSelector(app, plan)
+		sel, err := cp.MissSelector()
 		if err != nil {
 			return fmt.Errorf("experiments: fig9 %s %v L%d: %w", t.app, t.scheme, t.level, err)
 		}
 		cells := make([]Fig9Cell, 0, len(cfg.Models))
 		for _, model := range cfg.Models {
-			model := model
-			campaign := s.campaign(cfg.Runs, cfg.Seed)
-			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-				clone := app.Mem.Clone()
-				if _, err := fault.Inject(clone, rng, model, sel); err != nil {
-					return 0, err
-				}
-				return ClassifyRun(app, clone, plan, golden)
-			})
+			res, err := cp.Campaign(s.campaign(cfg.Runs, cfg.Seed), model, sel)
 			if err != nil {
 				return fmt.Errorf("experiments: fig9 %s %v L%d %v: %w", t.app, t.scheme, t.level, model, err)
 			}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
@@ -285,14 +284,11 @@ func Fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 // fig6App runs one application's hot and rest campaigns across every fault
 // model.
 func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
-	app, err := s.App(name)
+	cp, err := s.Checkpoint(name, core.None, 0)
 	if err != nil {
 		return nil, err
 	}
-	golden, err := s.Golden(name)
-	if err != nil {
-		return nil, err
-	}
+	app := cp.App
 	p, err := s.Profile(name)
 	if err != nil {
 		return nil, err
@@ -328,15 +324,7 @@ func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
 			return nil, err
 		}
 		for _, model := range cfg.Models {
-			model := model
-			campaign := s.campaign(cfg.Runs, cfg.Seed)
-			res, err := campaign.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-				clone := app.Mem.Clone()
-				if _, err := fault.Inject(clone, rng, model, sel); err != nil {
-					return 0, err
-				}
-				return ClassifyRun(app, clone, nil, golden)
-			})
+			res, err := cp.Campaign(s.campaign(cfg.Runs, cfg.Seed), model, sel)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig6 %s/%s/%v: %w", name, sp.label, model, err)
 			}

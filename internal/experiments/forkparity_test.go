@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+// TestCampaignForkParity is the fast-path equivalence contract: for every
+// application and scheme, a campaign over the fork + checkpoint path must
+// produce bit-identical Results to the legacy clone-per-run path, at one
+// worker and at sixteen. This also serves as the serial-vs-parallel
+// campaign determinism gate (run under -race in CI).
+func TestCampaignForkParity(t *testing.T) {
+	s := testSuite(t)
+	const (
+		runs = 6
+		seed = int64(99)
+	)
+	// 3 stuck bits per word: about half the injected words escape the
+	// inert-fault prune, so both the pruned path and the executed path are
+	// exercised in every campaign.
+	model := fault.Model{BitsPerWord: 3, Blocks: 1}
+
+	for _, name := range s.AllNames() {
+		for _, scheme := range []core.Scheme{core.None, core.Detection, core.Correction} {
+			base, err := s.App(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			level := 0
+			if scheme != core.None {
+				level = base.HotCount
+			}
+			cp, err := s.Checkpoint(name, scheme, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Whole-image selector: input objects, outputs, padding, and (for
+			// protected schemes) replicas are all reachable.
+			blocks := make([]arch.BlockAddr, cp.App.Mem.TotalBlocks())
+			for i := range blocks {
+				blocks[i] = arch.BlockAddr(i)
+			}
+			sel, err := fault.NewSetSelector(blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Legacy path: deep clone per run, full output extraction and
+			// metric evaluation per run.
+			golden, err := s.Golden(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := fault.Campaign{Runs: runs, Seed: seed, Workers: 1}.Execute(
+				func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+					clone := cp.App.Mem.Clone()
+					if _, err := fault.Inject(clone, rng, model, sel); err != nil {
+						return 0, err
+					}
+					return ClassifyRun(cp.App, clone, cp.Plan, golden)
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 16} {
+				got, err := cp.Campaign(fault.Campaign{Runs: runs, Seed: seed, Workers: workers}, model, sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != legacy {
+					t.Errorf("%s %v L%d workers=%d: fork path %+v != legacy clone path %+v",
+						name, scheme, level, workers, got, legacy)
+				}
+			}
+		}
+	}
+}

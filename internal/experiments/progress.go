@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressReporter renders suite fan-out progress as a single rewriting
+// line per experiment phase: completed/total tasks, elapsed time, and a
+// completion-rate ETA. Commands point it at stderr so stdout stays
+// byte-identical across worker counts. The suite serializes events, so no
+// locking is needed here.
+type ProgressReporter struct {
+	// W receives the rendered progress lines.
+	W io.Writer
+	// Now supplies the clock (tests substitute a fake; defaults to
+	// time.Now in NewProgressReporter).
+	Now func() time.Time
+
+	phase   string
+	started time.Time
+}
+
+// NewProgressReporter builds a reporter writing to w on the real clock.
+func NewProgressReporter(w io.Writer) *ProgressReporter {
+	return &ProgressReporter{W: w, Now: time.Now}
+}
+
+// Progress returns the suite progress hook commands wire into SuiteConfig:
+// nil under quiet (the suite then skips event delivery entirely),
+// otherwise a reporter writing to w.
+func Progress(quiet bool, w io.Writer) ProgressFunc {
+	if quiet {
+		return nil
+	}
+	return NewProgressReporter(w).Report
+}
+
+// Report consumes one suite progress event.
+func (r *ProgressReporter) Report(ev ProgressEvent) {
+	if ev.Phase != r.phase {
+		r.phase = ev.Phase
+		r.started = r.Now()
+	}
+	elapsed := r.Now().Sub(r.started).Truncate(time.Second)
+	line := fmt.Sprintf("[%s] %d/%d  elapsed %s", ev.Phase, ev.Done, ev.Total, elapsed)
+	if ev.Done > 0 && ev.Done < ev.Total {
+		eta := time.Duration(float64(elapsed) / float64(ev.Done) * float64(ev.Total-ev.Done)).Truncate(time.Second)
+		line += fmt.Sprintf("  eta %s", eta)
+	}
+	// \r rewrites the line in place; pad to clear a longer previous line.
+	fmt.Fprintf(r.W, "\r%-70s", line)
+	if ev.Done >= ev.Total {
+		fmt.Fprintln(r.W)
+	}
+}

@@ -1,12 +1,10 @@
-package main
+package experiments
 
 import (
 	"bytes"
 	"strings"
 	"testing"
 	"time"
-
-	"github.com/datacentric-gpu/dcrm/internal/experiments"
 )
 
 // fakeClock is a manually-advanced clock: now() reads the current time,
@@ -19,13 +17,13 @@ func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func TestProgressETA(t *testing.T) {
 	var buf bytes.Buffer
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	r := &progressReporter{w: &buf, now: clk.now}
+	r := &ProgressReporter{W: &buf, Now: clk.now}
 
 	// First event starts the phase clock; the second is 10s later with
 	// 2/4 done, so the completion-rate ETA is 10s/2 * 2 remaining = 10s.
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 4})
+	r.Report(ProgressEvent{Phase: "fig6", Done: 1, Total: 4})
 	clk.advance(10 * time.Second)
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 4})
+	r.Report(ProgressEvent{Phase: "fig6", Done: 2, Total: 4})
 
 	out := buf.String()
 	if !strings.Contains(out, "[fig6] 2/4") {
@@ -42,13 +40,13 @@ func TestProgressETA(t *testing.T) {
 func TestProgressPhaseChangeResetsClock(t *testing.T) {
 	var buf bytes.Buffer
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	r := &progressReporter{w: &buf, now: clk.now}
+	r := &ProgressReporter{W: &buf, Now: clk.now}
 
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
+	r.Report(ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
 	clk.advance(30 * time.Second)
 	buf.Reset()
 	// New phase: elapsed must restart from this event, not carry over.
-	r.Report(experiments.ProgressEvent{Phase: "fig9", Done: 1, Total: 2})
+	r.Report(ProgressEvent{Phase: "fig9", Done: 1, Total: 2})
 	if out := buf.String(); !strings.Contains(out, "elapsed 0s") {
 		t.Errorf("phase change did not reset the clock: %q", out)
 	}
@@ -57,9 +55,9 @@ func TestProgressPhaseChangeResetsClock(t *testing.T) {
 func TestProgressCompletionEndsLine(t *testing.T) {
 	var buf bytes.Buffer
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	r := &progressReporter{w: &buf, now: clk.now}
+	r := &ProgressReporter{W: &buf, Now: clk.now}
 
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
+	r.Report(ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
 	if out := buf.String(); !strings.HasSuffix(out, "\n") {
 		t.Errorf("completed phase did not end its line: %q", out)
 	}
@@ -71,11 +69,11 @@ func TestProgressCompletionEndsLine(t *testing.T) {
 func TestProgressZeroTotal(t *testing.T) {
 	var buf bytes.Buffer
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	r := &progressReporter{w: &buf, now: clk.now}
+	r := &ProgressReporter{W: &buf, Now: clk.now}
 
 	// A zero-task phase must not divide by zero or print an ETA; Done>=Total
 	// means it terminates its line immediately.
-	r.Report(experiments.ProgressEvent{Phase: "empty", Done: 0, Total: 0})
+	r.Report(ProgressEvent{Phase: "empty", Done: 0, Total: 0})
 	out := buf.String()
 	if !strings.Contains(out, "[empty] 0/0") {
 		t.Errorf("zero-task phase rendered wrong: %q", out)
@@ -90,10 +88,10 @@ func TestProgressZeroTotal(t *testing.T) {
 
 func TestProgressFuncQuiet(t *testing.T) {
 	var buf bytes.Buffer
-	if fn := progressFunc(true, &buf); fn != nil {
-		t.Error("-quiet must disable the progress hook entirely, got non-nil func")
+	if fn := Progress(true, &buf); fn != nil {
+		t.Error("quiet must disable the progress hook entirely, got non-nil func")
 	}
-	if fn := progressFunc(false, &buf); fn == nil {
+	if fn := Progress(false, &buf); fn == nil {
 		t.Error("progress hook missing when not quiet")
 	}
 	if buf.Len() != 0 {
@@ -107,11 +105,11 @@ func TestProgressFuncQuiet(t *testing.T) {
 func TestProgressWriterIsolated(t *testing.T) {
 	var progress bytes.Buffer
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	r := newProgressReporter(&progress)
-	r.now = clk.now
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
+	r := NewProgressReporter(&progress)
+	r.Now = clk.now
+	r.Report(ProgressEvent{Phase: "fig6", Done: 1, Total: 2})
 	clk.advance(time.Second)
-	r.Report(experiments.ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
+	r.Report(ProgressEvent{Phase: "fig6", Done: 2, Total: 2})
 	if progress.Len() == 0 {
 		t.Fatal("reporter wrote nothing to its writer")
 	}

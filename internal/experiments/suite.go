@@ -13,8 +13,9 @@
 // configured seed rather than from scheduling order, so the output of a
 // parallel run is bit-identical to a serial one at any worker count. The
 // Suite itself is safe for concurrent use: its application, profile,
-// golden-output, and trace memos are once-guarded per key, so concurrent
-// experiments share one profiling pass instead of racing or repeating it.
+// golden-output, trace, and campaign-checkpoint memos are once-guarded per
+// key, so concurrent experiments share one profiling pass instead of
+// racing or repeating it.
 package experiments
 
 import (
@@ -150,18 +151,19 @@ func (c *memo[T]) get(key string, build func() (T, error)) (T, error) {
 }
 
 // Suite builds and caches the paper's applications, their profiles, their
-// fault-free golden outputs, and their baseline traces. Building C-NN's
-// network is expensive, so one network is shared across every C-NN
-// instance the experiments create. All methods are safe for concurrent
-// use; the memoized artifacts are built once per key and must be treated
-// as read-only by callers.
+// fault-free golden outputs, their baseline traces, and their campaign
+// checkpoints. Building C-NN's network is expensive, so one network is
+// shared across every C-NN instance the experiments create. All methods
+// are safe for concurrent use; the memoized artifacts are built once per
+// key and must be treated as read-only by callers.
 type Suite struct {
-	cfg      SuiteConfig
-	net      *nn.Network
-	apps     memo[*kernels.App]
-	profiles memo[*profile.Profile]
-	goldens  memo[[]float32]
-	traces   memo[[]*simt.KernelTrace]
+	cfg         SuiteConfig
+	net         *nn.Network
+	apps        memo[*kernels.App]
+	profiles    memo[*profile.Profile]
+	goldens     memo[[]float32]
+	traces      memo[[]*simt.KernelTrace]
+	checkpoints memo[*Checkpoint]
 }
 
 // NewSuite constructs the suite (training the shared C-NN network once).

@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+)
+
+// Classifier maps fault-injected runs to Outcomes against a golden
+// checkpoint. The fast path is data-centric: instead of always extracting
+// the output vector and evaluating the quality metric, the post-run forked
+// memory is compared against the golden post-run image block by block
+// (mem.DivergesFrom — only blocks either run wrote, plus the overlaid
+// fault words, with early exit on the first divergence). A run whose
+// resolved post-run state is bit-identical to the golden one has exactly
+// the golden output, so its metric value is 0 and it is Masked under every
+// threshold; only divergent runs pay for output extraction and the metric.
+type Classifier struct {
+	// Golden is the fault-free output under the metric.
+	Golden []float32
+	// GoldenPost is the golden post-run memory image, as a fork of the same
+	// root the campaign forks run on.
+	GoldenPost *mem.Memory
+	// Metric judges divergent outputs (Table II).
+	Metric metrics.Metric
+	// DetectErr, when non-nil, identifies detection-scheme terminations
+	// (matched with errors.Is): such runs are Detected, every other run
+	// error is a fault-induced Crash. The sentinel is injected by the
+	// caller so this package stays below the protection-plan layer.
+	DetectErr error
+}
+
+// Classify maps one run to its Outcome. m is the post-run fork; output
+// extracts the metric input from it and is only invoked when the streaming
+// comparison finds a divergence from the golden image.
+func (c *Classifier) Classify(runErr error, m *mem.Memory, output func(*mem.Memory) []float32) (Outcome, error) {
+	if runErr != nil {
+		if c.DetectErr != nil && errors.Is(runErr, c.DetectErr) {
+			return Detected, nil
+		}
+		// A fault that corrupts an index (e.g. A-SRAD's neighbour arrays)
+		// can push an access out of bounds; that run crashed rather than
+		// silently corrupting output.
+		return Crashed, nil
+	}
+	if c.GoldenPost == nil {
+		return 0, fmt.Errorf("fault: classifier has no golden post-run image")
+	}
+	if !m.DivergesFrom(c.GoldenPost) {
+		return Masked, nil
+	}
+	sdc, err := c.Metric.IsSDC(output(m), c.Golden)
+	if err != nil {
+		return 0, err
+	}
+	if sdc {
+		return SDC, nil
+	}
+	return Masked, nil
+}

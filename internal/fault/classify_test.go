@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/metrics"
+)
+
+var errDetected = errors.New("detected sentinel")
+
+// classifyFixture builds a root image with a read-only input and a
+// writable output, plus a golden post-run fork whose output is 1,2,3,...
+func classifyFixture(t *testing.T) (*mem.Memory, *mem.Buffer, *mem.Memory, *Classifier) {
+	t.Helper()
+	root := mem.New()
+	if _, err := root.Alloc("in", 256, true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := root.Alloc("out", 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenRun := func(m *mem.Memory) {
+		for i := 0; i < out.Len4(); i++ {
+			m.WriteF32(out.ElemAddr(i), float32(i+1))
+		}
+	}
+	goldenPost := root.Fork()
+	goldenRun(goldenPost)
+	output := func(m *mem.Memory) []float32 { return m.ReadF32Slice(out, out.Len4()) }
+	c := &Classifier{
+		Golden:     output(goldenPost),
+		GoldenPost: goldenPost,
+		Metric:     metrics.Metric{Kind: metrics.VectorDeviation, Threshold: 3},
+		DetectErr:  errDetected,
+	}
+	return root, out, goldenPost, c
+}
+
+func TestClassifyErrors(t *testing.T) {
+	root, _, _, c := classifyFixture(t)
+	f := root.Fork()
+	if o, err := c.Classify(fmt.Errorf("wrapped: %w", errDetected), f, nil); err != nil || o != Detected {
+		t.Errorf("detection termination → %v, %v; want Detected", o, err)
+	}
+	if o, err := c.Classify(errors.New("out of bounds"), f, nil); err != nil || o != Crashed {
+		t.Errorf("other run error → %v, %v; want Crashed", o, err)
+	}
+}
+
+func TestClassifyIdenticalRunIsMaskedWithoutOutputExtraction(t *testing.T) {
+	root, out, _, c := classifyFixture(t)
+	f := root.Fork()
+	for i := 0; i < out.Len4(); i++ {
+		f.WriteF32(out.ElemAddr(i), float32(i+1))
+	}
+	o, err := c.Classify(nil, f, func(*mem.Memory) []float32 {
+		t.Fatal("output extracted for a bit-identical run")
+		return nil
+	})
+	if err != nil || o != Masked {
+		t.Errorf("identical run → %v, %v; want Masked", o, err)
+	}
+}
+
+func TestClassifyDivergentRun(t *testing.T) {
+	root, out, _, c := classifyFixture(t)
+
+	// Every output word far off: past the 3% deviation threshold → SDC.
+	f := root.Fork()
+	for i := 0; i < out.Len4(); i++ {
+		f.WriteF32(out.ElemAddr(i), float32(i+1)*100)
+	}
+	extracted := false
+	o, err := c.Classify(nil, f, func(m *mem.Memory) []float32 {
+		extracted = true
+		return m.ReadF32Slice(out, out.Len4())
+	})
+	if err != nil || o != SDC {
+		t.Errorf("corrupted run → %v, %v; want SDC", o, err)
+	}
+	if !extracted {
+		t.Error("divergent run must fall back to output extraction")
+	}
+
+	// One word slightly off: divergent but within threshold → Masked via
+	// the metric path.
+	g := root.Fork()
+	for i := 0; i < out.Len4(); i++ {
+		g.WriteF32(out.ElemAddr(i), float32(i+1))
+	}
+	g.WriteF32(out.ElemAddr(0), 1.0000002)
+	o, err = c.Classify(nil, g, func(m *mem.Memory) []float32 {
+		return m.ReadF32Slice(out, out.Len4())
+	})
+	if err != nil || o != Masked {
+		t.Errorf("within-threshold divergence → %v, %v; want Masked", o, err)
+	}
+}

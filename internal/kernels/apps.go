@@ -22,7 +22,8 @@ type App struct {
 	// Name is the paper's label, e.g. "P-BICG".
 	Name string
 	// Mem is the golden device memory image: inputs initialised, outputs
-	// zero. Runs always execute against clones so the image stays pristine.
+	// zero. Runs always execute against copy-on-write forks (or full
+	// clones) so the image stays pristine.
 	Mem *mem.Memory
 	// Kernels is the launch sequence.
 	Kernels []*simt.Kernel
@@ -64,21 +65,21 @@ func (a *App) RunOn(m *mem.Memory, reader simt.WordReader) error {
 	return nil
 }
 
-// GoldenRun executes the app on a pristine clone and returns the fault-free
-// baseline output.
+// GoldenRun executes the app on a pristine copy-on-write fork of its image
+// and returns the fault-free baseline output.
 func (a *App) GoldenRun() ([]float32, error) {
-	m := a.Mem.Clone()
+	m := a.Mem.Fork()
 	if err := a.RunOn(m, nil); err != nil {
 		return nil, err
 	}
 	return a.Output(m), nil
 }
 
-// TraceRun executes the app on a pristine clone with tracing enabled,
-// delivering every coalesced transaction to obs (which may be nil) and
-// returning the per-kernel traces for the timing simulator.
+// TraceRun executes the app on a pristine copy-on-write fork with tracing
+// enabled, delivering every coalesced transaction to obs (which may be nil)
+// and returning the per-kernel traces for the timing simulator.
 func (a *App) TraceRun(obs simt.Observer) ([]*simt.KernelTrace, error) {
-	m := a.Mem.Clone()
+	m := a.Mem.Fork()
 	d := &simt.Driver{Mem: m, Observer: obs, Tracing: true}
 	traces := make([]*simt.KernelTrace, 0, len(a.Kernels))
 	for _, k := range a.Kernels {

@@ -87,7 +87,10 @@ type wordFault struct {
 }
 
 // Memory is one device memory image. It is not safe for concurrent use;
-// fault-injection campaigns clone it per run.
+// fault-injection campaigns run against per-run copy-on-write forks
+// (Fork), which share the golden image read-only. Many forks of one root
+// may be used concurrently as long as each individual fork stays on one
+// goroutine and the root is no longer written.
 type Memory struct {
 	data    []byte
 	buffers []*Buffer
@@ -95,6 +98,19 @@ type Memory struct {
 	// handful of faulty words, and a linear scan beats a map at that size.
 	faults []wordFault
 	ecc    ECCMode
+
+	// Copy-on-write fork state (nil/zero on root images, see fork.go). A
+	// fork shares `shared` — the root's data — read-only and materializes a
+	// private 128 B block copy in dirtyBuf on first write. blockOff maps a
+	// block index to its offset in dirtyBuf (-1 = still shared), dirtyIdx
+	// lists materialized blocks in first-write order, and copied counts
+	// materializations over the fork's lifetime (Reset does not rewind it,
+	// so telemetry can take deltas across pooled reuse).
+	shared   []byte
+	blockOff []int32
+	dirtyBuf []byte
+	dirtyIdx []int32
+	copied   uint64
 }
 
 // New returns an empty device memory with the paper's SECDED assumption
@@ -109,8 +125,13 @@ func (m *Memory) SetECC(mode ECCMode) { m.ecc = mode }
 // ECC reports the current ECC model.
 func (m *Memory) ECC() ECCMode { return m.ecc }
 
-// Alloc reserves a 128 B aligned buffer of the given byte size.
+// Alloc reserves a 128 B aligned buffer of the given byte size. Forks
+// cannot allocate: buffer layout (including replica allocations made by
+// protection plans) is fixed on the root image before forking.
 func (m *Memory) Alloc(name string, size int, readOnly bool) (*Buffer, error) {
+	if m.shared != nil {
+		return nil, fmt.Errorf("mem: alloc %q: cannot allocate on a copy-on-write fork", name)
+	}
 	if size <= 0 {
 		return nil, fmt.Errorf("mem: alloc %q: size must be positive, got %d", name, size)
 	}
@@ -158,19 +179,40 @@ func (m *Memory) BufferAt(a arch.Addr) (*Buffer, bool) {
 }
 
 // Size returns the total allocated bytes (padded to blocks).
-func (m *Memory) Size() int { return len(m.data) }
+func (m *Memory) Size() int {
+	if m.shared != nil {
+		return len(m.shared)
+	}
+	return len(m.data)
+}
 
 // TotalBlocks returns the number of 128 B blocks allocated.
-func (m *Memory) TotalBlocks() int { return len(m.data) / arch.BlockBytes }
+func (m *Memory) TotalBlocks() int { return m.Size() / arch.BlockBytes }
 
-// Clone returns an independent copy sharing no mutable state. Buffer
-// metadata is immutable and therefore shared.
+// Clone returns an independent deep copy sharing no mutable state. Buffer
+// metadata is immutable and therefore shared. Cloning a fork materializes
+// its resolved contents into a new root image.
 func (m *Memory) Clone() *Memory {
 	out := &Memory{
-		data:    append([]byte(nil), m.data...),
+		data:    m.resolvedBytes(),
 		buffers: append([]*Buffer(nil), m.buffers...),
 		faults:  append([]wordFault(nil), m.faults...),
 		ecc:     m.ecc,
+	}
+	return out
+}
+
+// resolvedBytes returns a fresh copy of the image with any fork-private
+// blocks folded in (the stuck-at fault overlay is a read-path effect and
+// is not applied).
+func (m *Memory) resolvedBytes() []byte {
+	if m.shared == nil {
+		return append([]byte(nil), m.data...)
+	}
+	out := append([]byte(nil), m.shared...)
+	for _, b := range m.dirtyIdx {
+		off := m.blockOff[b]
+		copy(out[int(b)*arch.BlockBytes:], m.dirtyBuf[off:off+arch.BlockBytes])
 	}
 	return out
 }
@@ -182,8 +224,8 @@ func (m *Memory) InjectStuckAt(wordAddr arch.Addr, mask uint32, stuckAtOne bool)
 	if wordAddr%arch.WordBytes != 0 {
 		return fmt.Errorf("mem: fault address %#x is not word aligned", wordAddr)
 	}
-	if int(wordAddr)+arch.WordBytes > len(m.data) {
-		return fmt.Errorf("mem: fault address %#x beyond memory size %d", wordAddr, len(m.data))
+	if int(wordAddr)+arch.WordBytes > m.Size() {
+		return fmt.Errorf("mem: fault address %#x beyond memory size %d", wordAddr, m.Size())
 	}
 	i := sort.Search(len(m.faults), func(i int) bool { return m.faults[i].wordAddr >= wordAddr })
 	if i < len(m.faults) && m.faults[i].wordAddr == wordAddr {
@@ -237,14 +279,21 @@ func (m *Memory) Faults() []FaultRecord {
 	return out
 }
 
-// rawWord reads the stored word without the fault overlay.
+// rawWord reads the stored word without the fault overlay, resolving
+// fork-private blocks.
 func (m *Memory) rawWord(wordAddr arch.Addr) uint32 {
-	return binary.LittleEndian.Uint32(m.data[wordAddr:])
+	if m.shared == nil {
+		return binary.LittleEndian.Uint32(m.data[wordAddr:])
+	}
+	if off := m.blockOff[int(wordAddr)/arch.BlockBytes]; off >= 0 {
+		return binary.LittleEndian.Uint32(m.dirtyBuf[int(off)+int(wordAddr)%arch.BlockBytes:])
+	}
+	return binary.LittleEndian.Uint32(m.shared[wordAddr:])
 }
 
 // ReadWord reads a 32-bit word through the fault overlay and ECC model.
 func (m *Memory) ReadWord(wordAddr arch.Addr) uint32 {
-	raw := binary.LittleEndian.Uint32(m.data[wordAddr:])
+	raw := m.rawWord(wordAddr)
 	if len(m.faults) == 0 {
 		return raw
 	}
@@ -266,9 +315,19 @@ func (m *Memory) ReadWord(wordAddr arch.Addr) uint32 {
 }
 
 // WriteWord stores a 32-bit word. Stuck-at faults are permanent: they keep
-// overriding the stored bits on subsequent reads.
+// overriding the stored bits on subsequent reads. On a fork, the first
+// write to a 128 B block copies that block into the fork's private arena;
+// the shared root image is never modified.
 func (m *Memory) WriteWord(wordAddr arch.Addr, v uint32) {
-	binary.LittleEndian.PutUint32(m.data[wordAddr:], v)
+	if m.shared == nil {
+		binary.LittleEndian.PutUint32(m.data[wordAddr:], v)
+		return
+	}
+	off := m.blockOff[int(wordAddr)/arch.BlockBytes]
+	if off < 0 {
+		off = m.materialize(int(wordAddr) / arch.BlockBytes)
+	}
+	binary.LittleEndian.PutUint32(m.dirtyBuf[int(off)+int(wordAddr)%arch.BlockBytes:], v)
 }
 
 // ReadF32 reads a float32 through the fault overlay.
@@ -323,11 +382,34 @@ func (m *Memory) ReadF32Slice(b *Buffer, n int) []float32 {
 }
 
 // CopyBuffer copies src's current (fault-free raw) contents into dst. It is
-// used to initialise replica copies.
+// used to initialise replica copies. Plans normally copy on the root image
+// before forking; on a fork the copy goes through the copy-on-write path.
 func (m *Memory) CopyBuffer(dst, src *Buffer) error {
 	if dst.Size < src.Size {
 		return fmt.Errorf("mem: copy %q→%q: destination %d B < source %d B", src.Name, dst.Name, dst.Size, src.Size)
 	}
-	copy(m.data[dst.Base:int(dst.Base)+src.Size], m.data[src.Base:int(src.Base)+src.Size])
+	if m.shared == nil {
+		copy(m.data[dst.Base:int(dst.Base)+src.Size], m.data[src.Base:int(src.Base)+src.Size])
+		return nil
+	}
+	for o := 0; o < src.Size; o++ {
+		a := int(dst.Base) + o
+		off := m.blockOff[a/arch.BlockBytes]
+		if off < 0 {
+			off = m.materialize(a / arch.BlockBytes)
+		}
+		m.dirtyBuf[int(off)+a%arch.BlockBytes] = m.byteAt(int(src.Base) + o)
+	}
 	return nil
+}
+
+// byteAt reads one stored byte, resolving fork-private blocks.
+func (m *Memory) byteAt(a int) byte {
+	if m.shared == nil {
+		return m.data[a]
+	}
+	if off := m.blockOff[a/arch.BlockBytes]; off >= 0 {
+		return m.dirtyBuf[int(off)+a%arch.BlockBytes]
+	}
+	return m.shared[a]
 }

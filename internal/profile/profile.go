@@ -124,11 +124,11 @@ func (c *collector) Observe(tx simt.Transaction) {
 	c.active[gw] = struct{}{}
 }
 
-// Collect profiles the application with one instrumented run on a clone of
-// its golden memory image.
+// Collect profiles the application with one instrumented run on a
+// copy-on-write fork of its golden memory image.
 func Collect(app *kernels.App) (*Profile, error) {
 	c := newCollector()
-	m := app.Mem.Clone()
+	m := app.Mem.Fork()
 	d := &simt.Driver{Mem: m, Observer: c}
 	totalWarps := 0
 	for _, k := range app.Kernels {

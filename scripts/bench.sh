@@ -1,42 +1,65 @@
 #!/usr/bin/env bash
-# Regenerate the timing-simulator benchmark baseline.
+# Regenerate the committed benchmark baselines.
 #
-# Runs the steady-state replay benchmarks (BenchmarkRunKernel and its
-# Detection/Correction variants) and writes their ns/op, B/op, and
-# allocs/op to BENCH_timing.json (or the path given as $1). CI re-runs
-# this with a short BENCHTIME and compares against the committed baseline
-# (scripts/bench_compare.sh, warn-only).
+# Runs the steady-state timing-replay benchmarks (BenchmarkRunKernel and
+# its Detection/Correction variants) into BENCH_timing.json (or $1), and
+# the campaign fast-path benchmarks (BenchmarkCampaignFig6/9) into
+# BENCH_campaign.json (or $2). The campaign file also carries the frozen
+# pre-fork clone-path measurements under the *PreFork names, so
+# scripts/bench_compare.sh can report the fast-path speedup against the
+# code the fork + checkpoint path replaced. CI re-runs this with a short
+# BENCHTIME and compares against the committed baselines (warn-only).
 #
-#   scripts/bench.sh                  # refresh BENCH_timing.json (1s rounds)
-#   BENCHTIME=100x scripts/bench.sh out.json
+#   scripts/bench.sh                  # refresh both baselines (1s rounds)
+#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH_timing.json}"
+CAMPAIGN_OUT="${2:-BENCH_campaign.json}"
+
+# Frozen pre-fork baseline: the clone-per-run campaign path measured at
+# the commit that introduced copy-on-write forking (same benchmark
+# configurations, -benchtime 2s). Kept as data, not re-run — the code it
+# measured is gone.
+PREFORK_ENTRIES='    {"name": "BenchmarkCampaignFig6PreFork", "iterations": 0, "ns_per_op": 141245682, "bytes_per_op": 16833190, "allocs_per_op": 2209},
+    {"name": "BenchmarkCampaignFig9PreFork", "iterations": 0, "ns_per_op": 205210604, "bytes_per_op": 18726577, "allocs_per_op": 9303},'
+
+# render_json RAW BENCHTIME [EXTRA_ENTRY_LINES] -> JSON on stdout
+render_json() {
+  awk -v benchtime="$2" -v extra="${3:-}" '
+    BEGIN { n = 0 }
+    $1 ~ /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      names[n] = name; iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7
+      n++
+    }
+    /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+    END {
+      printf "{\n"
+      printf "  \"benchtime\": \"%s\",\n", benchtime
+      printf "  \"cpu\": \"%s\",\n", cpu
+      printf "  \"benchmarks\": [\n"
+      if (extra != "") printf "%s\n", extra
+      for (i = 0; i < n; i++)
+        printf "    {\"name\": \"%s\", \"iterations\": %d, \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+          names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+      printf "  ]\n}\n"
+    }
+  ' <<<"$1"
+}
 
 raw=$(go test ./internal/timing -run '^$' \
   -bench 'BenchmarkRunKernel(Detection|Correction)?$' \
   -benchmem -benchtime "$BENCHTIME")
 echo "$raw" >&2
-
-echo "$raw" | awk -v benchtime="$BENCHTIME" '
-  BEGIN { n = 0 }
-  $1 ~ /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    names[n] = name; iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7
-    n++
-  }
-  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
-  END {
-    printf "{\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"benchmarks\": [\n"
-    for (i = 0; i < n; i++)
-      printf "    {\"name\": \"%s\", \"iterations\": %d, \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
-        names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
-    printf "  ]\n}\n"
-  }
-' > "$OUT"
+render_json "$raw" "$BENCHTIME" > "$OUT"
 echo "wrote $OUT" >&2
+
+raw=$(go test ./internal/experiments -run '^$' \
+  -bench 'BenchmarkCampaignFig(6|9)$' \
+  -benchmem -benchtime "$BENCHTIME")
+echo "$raw" >&2
+render_json "$raw" "$BENCHTIME" "$PREFORK_ENTRIES" > "$CAMPAIGN_OUT"
+echo "wrote $CAMPAIGN_OUT" >&2

@@ -41,5 +41,20 @@ while read -r name bns ballocs cns callocs; do
   fi
 done < <(join <(parse "$BASE" | sort) <(parse "$CUR" | sort))
 
+# Fast-path speedup report: a baseline entry named <X>PreFork freezes the
+# ns/op of the code <X> replaced; compare the current <X> against it and
+# warn (only) if the promised >=3x advantage has eroded.
+while read -r name prens; do
+  cur=$(parse "$CUR" | awk -v n="${name%PreFork}" '$1 == n { print $2 }')
+  [ -n "$cur" ] || continue
+  speedup=$(awk -v pre="$prens" -v cur="$cur" 'BEGIN { printf "%.2f", pre / cur }')
+  printf '%-32s %10d ns/op pre-fork -> %10d ns/op now (%sx)\n' \
+    "${name%PreFork}" "$prens" "$cur" "$speedup"
+  if awk -v s="$speedup" 'BEGIN { exit !(s < 3.0) }'; then
+    echo "WARNING: ${name%PreFork} fast-path speedup ${speedup}x below the 3x floor"
+    status=warn
+  fi
+done < <(parse "$BASE" | awk '$1 ~ /PreFork$/ { print $1, $2 }')
+
 [ "$status" = ok ] && echo "benchmarks within tolerance of the committed baseline"
 exit 0
