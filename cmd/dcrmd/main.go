@@ -14,7 +14,13 @@
 //
 // Usage:
 //
-//	dcrmd [-addr :8080] [-workers 0] [-scale small]
+//	dcrmd [-addr :8080] [-workers 0] [-scale small] [-store-dir DIR] [-max-inflight N]
+//
+// With -store-dir, results persist in a content-addressed disk store:
+// repeat campaigns over the same inputs are served from it, and restarts
+// warm-start from earlier runs. Identical concurrent submissions coalesce
+// onto one job; distinct submissions beyond -max-inflight are rejected
+// with HTTP 429 and a Retry-After header.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
@@ -44,6 +51,8 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
+	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory (created if missing); empty = in-memory only")
+	maxInflight := flag.Int("max-inflight", 0, "maximum concurrently live campaign jobs before submissions get 429 (0 = 2×GOMAXPROCS)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -64,7 +73,14 @@ func run() error {
 	}
 
 	reg := telemetry.NewRegistry()
-	runner := newRunner(cfg, reg)
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir, Telemetry: reg})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
+	runner := newRunner(cfg, reg, *maxInflight)
 	srv := &http.Server{Addr: *addr, Handler: newMux(runner, reg)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
@@ -58,6 +61,10 @@ type job struct {
 	Result    any       `json:"result,omitempty"`
 }
 
+// errOverloaded rejects a submission once maxInflight campaigns are live;
+// the HTTP layer maps it to 429 with a Retry-After.
+var errOverloaded = errors.New("campaign queue full: maximum in-flight campaigns reached, retry later")
+
 // runner owns the experiment suite and the background campaign jobs. The
 // suite is built lazily on the first submission (C-NN weight training makes
 // construction slow), so the daemon answers /healthz immediately after
@@ -65,6 +72,8 @@ type job struct {
 type runner struct {
 	cfg experiments.SuiteConfig
 	reg *telemetry.Registry
+	// maxInflight bounds pending+running jobs (admission control).
+	maxInflight int
 
 	suiteOnce sync.Once
 	suite     *experiments.Suite
@@ -73,28 +82,58 @@ type runner struct {
 	mu     sync.Mutex
 	nextID int
 	jobs   map[string]*job
-	wg     sync.WaitGroup
+	// inflight maps a request's content key to its live (pending or
+	// running) job, so identical concurrent submissions coalesce onto one
+	// run instead of queuing duplicates. Entries are removed on completion;
+	// repeats after that still skip the work through the suite's result
+	// store.
+	inflight map[string]*job
+	live     int
+	wg       sync.WaitGroup
 
 	jobsSubmitted *telemetry.CounterVec // dcrm_daemon_jobs_total{kind}
 	jobsFinished  *telemetry.CounterVec // dcrm_daemon_jobs_finished_total{state}
 	jobsRunning   *telemetry.Gauge      // dcrm_daemon_jobs_running
+	jobsCoalesced *telemetry.Counter    // dcrm_daemon_jobs_coalesced_total
+	jobsRejected  *telemetry.Counter    // dcrm_daemon_jobs_rejected_total
 }
 
 // newRunner wires a runner to reg; the suite inherits reg so campaign and
-// fan-out counters from running jobs surface on /metrics live.
-func newRunner(cfg experiments.SuiteConfig, reg *telemetry.Registry) *runner {
+// fan-out counters from running jobs surface on /metrics live. maxInflight
+// bounds concurrently live jobs (0 picks 2×GOMAXPROCS).
+func newRunner(cfg experiments.SuiteConfig, reg *telemetry.Registry, maxInflight int) *runner {
 	cfg.Telemetry = reg
+	if maxInflight <= 0 {
+		maxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
 	return &runner{
-		cfg:  cfg,
-		reg:  reg,
-		jobs: make(map[string]*job),
+		cfg:         cfg,
+		reg:         reg,
+		maxInflight: maxInflight,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
 		jobsSubmitted: reg.CounterVec("dcrm_daemon_jobs_total",
 			"Campaign jobs submitted, by kind.", "kind"),
 		jobsFinished: reg.CounterVec("dcrm_daemon_jobs_finished_total",
 			"Campaign jobs finished, by final state.", "state"),
 		jobsRunning: reg.Gauge("dcrm_daemon_jobs_running",
 			"Campaign jobs currently executing."),
+		jobsCoalesced: reg.Counter("dcrm_daemon_jobs_coalesced_total",
+			"Campaign submissions answered with an already-live identical job."),
+		jobsRejected: reg.Counter("dcrm_daemon_jobs_rejected_total",
+			"Campaign submissions rejected by admission control (HTTP 429)."),
 	}
+}
+
+// requestKey is the content address of a submission: identical requests
+// map to one key regardless of field order or arrival time.
+func requestKey(kind string, params jobParams) string {
+	return store.NewKey("dcrmd").
+		Field("kind", kind).
+		Field("apps", params.Apps).
+		Field("runs", params.Runs).
+		Field("seed", params.Seed).
+		Key().Hash()
 }
 
 // getSuite builds the suite once and memoizes the result, error included.
@@ -112,14 +151,30 @@ func (r *runner) getSuite() (*experiments.Suite, error) {
 }
 
 // submit validates the request, registers a job, and starts it in the
-// background. It returns a snapshot of the new job.
+// background. Identical in-flight submissions coalesce onto the existing
+// job (the returned snapshot carries its ID); distinct submissions beyond
+// the in-flight bound are rejected with errOverloaded. It returns a
+// snapshot of the job serving the request.
 func (r *runner) submit(kind string, params jobParams) (job, error) {
 	runFn, ok := jobKinds[kind]
 	if !ok {
 		return job{}, fmt.Errorf("unknown campaign kind %q (want fig6, fig7, or fig9)", kind)
 	}
+	key := requestKey(kind, params)
 
 	r.mu.Lock()
+	if live := r.inflight[key]; live != nil {
+		snap := *live
+		snap.Result = nil // still running; nothing to elide, but stay consistent
+		r.mu.Unlock()
+		r.jobsCoalesced.Inc()
+		return snap, nil
+	}
+	if r.live >= r.maxInflight {
+		r.mu.Unlock()
+		r.jobsRejected.Inc()
+		return job{}, errOverloaded
+	}
 	r.nextID++
 	j := &job{
 		ID:        fmt.Sprintf("job-%d", r.nextID),
@@ -129,18 +184,20 @@ func (r *runner) submit(kind string, params jobParams) (job, error) {
 		Submitted: time.Now().UTC(),
 	}
 	r.jobs[j.ID] = j
+	r.inflight[key] = j
+	r.live++
 	snap := *j
 	r.mu.Unlock()
 
 	r.jobsSubmitted.With(kind).Inc()
 	r.wg.Add(1)
-	go r.execute(j, runFn)
+	go r.execute(j, key, runFn)
 	return snap, nil
 }
 
 // execute runs one job to completion. Suite construction errors fail the
 // job rather than the daemon.
-func (r *runner) execute(j *job, runFn func(*experiments.Suite, jobParams) (any, error)) {
+func (r *runner) execute(j *job, key string, runFn func(*experiments.Suite, jobParams) (any, error)) {
 	defer r.wg.Done()
 
 	r.mu.Lock()
@@ -166,6 +223,8 @@ func (r *runner) execute(j *job, runFn func(*experiments.Suite, jobParams) (any,
 		j.State = stateDone
 		j.Result = result
 	}
+	delete(r.inflight, key)
+	r.live--
 	r.jobsFinished.With(string(j.State)).Inc()
 	r.mu.Unlock()
 }

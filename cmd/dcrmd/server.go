@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -60,6 +61,11 @@ func newMux(r *runner, reg *telemetry.Registry) *http.ServeMux {
 			return
 		}
 		j, err := r.submit(body.Kind, body.jobParams)
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return

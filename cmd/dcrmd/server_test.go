@@ -14,11 +14,12 @@ import (
 )
 
 // newTestServer builds a daemon with a fast suite (tiny NN training set)
-// and serves it from httptest.
+// and serves it from httptest. The in-flight bound is generous so only the
+// dedicated admission-control test exercises 429s.
 func newTestServer(t *testing.T) (*httptest.Server, *runner) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
-	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg)
+	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg, 64)
 	srv := httptest.NewServer(newMux(r, reg))
 	t.Cleanup(func() {
 		srv.Close()

@@ -5,10 +5,14 @@
 // Usage:
 //
 //	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0] [-quiet]
+//	            [-csv dir] [-store-dir dir]
 //
 // Campaign progress (completed configurations, elapsed time, ETA) is
 // reported on stderr; -quiet silences it. Results on stdout are
-// byte-identical either way.
+// byte-identical either way. With -csv the Fig. 6 cells are also exported
+// as CSV (parent directories are created as needed); with -store-dir the
+// campaign result is persisted to a content-addressed store so a repeat
+// invocation with the same configuration answers without recomputing.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
@@ -34,6 +39,8 @@ func run() error {
 	seed := flag.Int64("seed", 7, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
+	csvDir := flag.String("csv", "", "also export the Fig. 6 cells as CSV into this directory (created if missing)")
+	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -41,10 +48,18 @@ func run() error {
 		return nil
 	}
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{
+	scfg := experiments.SuiteConfig{
 		Workers:  *workers,
 		Progress: experiments.Progress(*quiet, os.Stderr),
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			return err
+		}
+		scfg.Store = st
+	}
+	suite, err := experiments.NewSuite(scfg)
 	if err != nil {
 		return err
 	}
@@ -57,6 +72,11 @@ func run() error {
 	cells, err := experiments.Fig6HotVsRest(suite, cfg)
 	if err != nil {
 		return err
+	}
+	if *csvDir != "" {
+		if err := experiments.ExportFig6CSV(*csvDir, cells); err != nil {
+			return err
+		}
 	}
 	var rows [][]string
 	for _, c := range cells {

@@ -4,19 +4,27 @@
 // Usage:
 //
 //	gpusim -app P-BICG [-scheme none|detection|correction] [-level N] [-scheduler gto|lrr] [-trace out.json]
-//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	       [-store-dir dir] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -store-dir, the run's statistics are persisted to a
+// content-addressed store: a repeat invocation with the same configuration
+// answers from the store without re-simulating. Requesting a Chrome trace
+// (-trace) forces a live simulation — a stored result has no timeline to
+// record.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 	"github.com/datacentric-gpu/dcrm/internal/timing"
 	"github.com/datacentric-gpu/dcrm/internal/version"
@@ -35,6 +43,7 @@ func run() error {
 	level := flag.Int("level", -1, "protected data objects, cumulative (-1 = hot objects)")
 	scheduler := flag.String("scheduler", "gto", "warp scheduler: gto or lrr")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event timeline (load in chrome://tracing or Perfetto) to this file")
+	storeDir := flag.String("store-dir", "", "persist run statistics to this content-addressed store directory (created if missing); repeat runs warm-start from it")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -49,7 +58,15 @@ func run() error {
 	}
 	defer stopProfiling()
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{})
+	scfg := experiments.SuiteConfig{}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			return err
+		}
+		scfg.Store = st
+	}
+	suite, err := experiments.NewSuite(scfg)
 	if err != nil {
 		return err
 	}
@@ -78,37 +95,48 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	fmt.Printf("Tracing %s (functional run)…\n", app.Name)
-	traces, err := app.TraceRun(nil)
-	if err != nil {
-		return err
-	}
-
-	var tplan timing.ProtectionPlan
 	if plan != nil {
-		tplan = plan
 		fmt.Println("Protection:", plan.Describe())
 	} else {
 		fmt.Println("Protection: baseline (no protection)")
 	}
-
-	eng, err := timing.New(arch.Default(), tplan)
-	if err != nil {
-		return err
-	}
+	policy := timing.GTO
 	if *scheduler == "lrr" {
-		eng.Policy = timing.LRR
-	}
-	if *traceFile != "" {
-		eng.Trace = telemetry.NewTrace()
+		policy = timing.LRR
 	}
 
-	st, err := eng.RunApp(app.Name, traces)
-	if err != nil {
-		return err
-	}
-	if eng.Trace != nil {
+	var st timing.AppStats
+	if *traceFile == "" {
+		// Serve through the suite's result store: with -store-dir a repeat
+		// invocation of the same configuration answers without simulating.
+		st, err = experiments.Simulate(suite, experiments.SimConfig{
+			App: app.Name, Scheme: scheme, Level: lvl, Policy: policy,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		// A Chrome trace needs a live engine attachment, so this path always
+		// simulates.
+		fmt.Printf("Tracing %s (functional run)…\n", app.Name)
+		traces, err := app.TraceRun(nil)
+		if err != nil {
+			return err
+		}
+		var tplan timing.ProtectionPlan
+		if plan != nil {
+			tplan = plan
+		}
+		eng, err := timing.New(arch.Default(), tplan)
+		if err != nil {
+			return err
+		}
+		eng.Policy = policy
+		eng.Trace = telemetry.NewTrace()
+		st, err = eng.RunApp(app.Name, traces)
+		if err != nil {
+			return err
+		}
 		if err := writeTrace(*traceFile, eng.Trace); err != nil {
 			return err
 		}
@@ -182,8 +210,15 @@ func startProfiling(cpuPath, memPath string) (stop func(), err error) {
 	return stop, nil
 }
 
-// writeTrace serializes the engine's Chrome trace to path.
+// writeTrace serializes the engine's Chrome trace to path, creating parent
+// directories as needed (matching how repro and the CSV exporters treat
+// output paths).
 func writeTrace(path string, tr *telemetry.Trace) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+// TestWriteTraceCreatesParentDirs pins the output-path contract shared by
+// every command: pointing an output flag at a path whose directories do not
+// exist yet must create them, not fail.
+func TestWriteTraceCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "trace.json")
+	if err := writeTrace(path, telemetry.NewTrace()); err != nil {
+		t.Fatalf("writeTrace into missing nested dir: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}

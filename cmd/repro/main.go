@@ -8,7 +8,12 @@
 // Usage:
 //
 //	repro [-runs 200] [-workers 0] [-fig 3|4|6|7|9] [-table 1|2|3] [-scale small] [-csv dir]
-//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	      [-store-dir dir] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -store-dir, every figure and table result is persisted to a
+// content-addressed on-disk store keyed by the full experiment
+// configuration and simulator version: a repeat invocation with the same
+// flags answers from the store, byte-identical to a fresh computation.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
@@ -36,6 +42,7 @@ func run() error {
 	fig := flag.Int("fig", 0, "regenerate a single figure (2,3,4,6,7,9)")
 	table := flag.Int("table", 0, "regenerate a single table (1,2,3)")
 	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress/ETA reporter")
@@ -56,6 +63,13 @@ func run() error {
 
 	cfg := experiments.SuiteConfig{Workers: *workers}
 	cfg.Progress = experiments.Progress(*quiet, os.Stderr)
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
 	switch *scale {
 	case "small":
 		cfg.Scale = experiments.ScaleSmall

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	resilience -perf [-apps …] [-workers 0]
-//	resilience -sdc [-runs 1000] [-apps …] [-workers 0]
+//	resilience -perf [-apps …] [-workers 0] [-csv dir] [-store-dir dir]
+//	resilience -sdc [-runs 1000] [-apps …] [-workers 0] [-csv dir] [-store-dir dir]
+//
+// With -csv the Fig. 7 points and Fig. 9 cells are also exported as CSV
+// (parent directories are created as needed); with -store-dir results are
+// persisted to a content-addressed store so a repeat invocation with the
+// same configuration answers without recomputing.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
@@ -33,6 +39,8 @@ func run() error {
 	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
 	seed := flag.Int64("seed", 11, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
+	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory (created if missing)")
+	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -43,7 +51,15 @@ func run() error {
 		*perf, *sdc = true, true
 	}
 
-	suite, err := experiments.NewSuite(experiments.SuiteConfig{Workers: *workers})
+	scfg := experiments.SuiteConfig{Workers: *workers}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			return err
+		}
+		scfg.Store = st
+	}
+	suite, err := experiments.NewSuite(scfg)
 	if err != nil {
 		return err
 	}
@@ -55,23 +71,28 @@ func run() error {
 	}
 
 	if *perf {
-		if err := runPerf(suite, appList); err != nil {
+		if err := runPerf(suite, appList, *csvDir); err != nil {
 			return err
 		}
 	}
 	if *sdc {
-		if err := runSDC(suite, appList, *runs, *seed); err != nil {
+		if err := runSDC(suite, appList, *runs, *seed, *csvDir); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runPerf(suite *experiments.Suite, apps []string) error {
+func runPerf(suite *experiments.Suite, apps []string, csvDir string) error {
 	fmt.Println("Fig. 7 — execution time and L1-missed accesses, normalized to baseline")
 	points, err := experiments.Fig7Overhead(suite, experiments.Fig7Config{Apps: apps})
 	if err != nil {
 		return err
+	}
+	if csvDir != "" {
+		if err := experiments.ExportFig7CSV(csvDir, points); err != nil {
+			return err
+		}
 	}
 	var rows [][]string
 	for _, p := range points {
@@ -98,13 +119,18 @@ func runPerf(suite *experiments.Suite, apps []string) error {
 	return nil
 }
 
-func runSDC(suite *experiments.Suite, apps []string, runs int, seed int64) error {
+func runSDC(suite *experiments.Suite, apps []string, runs int, seed int64, csvDir string) error {
 	fmt.Printf("Fig. 9 — SDC outcomes out of %d runs, whole-space L1-miss-weighted injection\n\n", runs)
 	cells, err := experiments.Fig9Resilience(suite, experiments.Fig9Config{
 		Runs: runs, Seed: seed, Apps: apps,
 	})
 	if err != nil {
 		return err
+	}
+	if csvDir != "" {
+		if err := experiments.ExportFig9CSV(csvDir, cells); err != nil {
+			return err
+		}
 	}
 	var rows [][]string
 	for _, c := range cells {

@@ -10,6 +10,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/fault"
 	"github.com/datacentric-gpu/dcrm/internal/kernels"
 	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
 
@@ -79,17 +80,24 @@ func (s *Suite) checkpoint(key string, build func() (*kernels.App, *core.Plan, e
 		reg.Counter("dcrm_checkpoint_requests_total",
 			"Campaign checkpoint lookups (hits = requests - builds).").Inc()
 	}
-	return s.checkpoints.get(key, func() (*Checkpoint, error) {
-		if reg := s.cfg.Telemetry; reg != nil {
-			reg.Counter("dcrm_checkpoint_builds_total",
-				"Campaign checkpoints built (app + plan; golden run deferred to first use).").Inc()
-		}
-		app, plan, err := build()
-		if err != nil {
-			return nil, err
-		}
-		return s.newCheckpoint(app, plan), nil
-	})
+	// Checkpoints are live objects (fork pools, lazy goldens) and never
+	// persist; the store's memory tier and singleflight front replace the
+	// old per-suite memo.
+	return store.Do(s.st, s.key("checkpoint").Field("cfg", key).Key(),
+		store.Options[*Checkpoint]{Size: func(cp *Checkpoint) int64 {
+			return int64(cp.App.Mem.Size())
+		}},
+		func() (*Checkpoint, error) {
+			if reg := s.cfg.Telemetry; reg != nil {
+				reg.Counter("dcrm_checkpoint_builds_total",
+					"Campaign checkpoints built (app + plan; golden run deferred to first use).").Inc()
+			}
+			app, plan, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return s.newCheckpoint(app, plan), nil
+		})
 }
 
 func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {

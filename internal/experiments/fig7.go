@@ -37,25 +37,20 @@ type Fig7Config struct {
 	Policy timing.SchedulerPolicy
 }
 
-// Fig7Overhead runs the Fig. 7 experiment: for every application, sweep the
-// cumulative number of protected data objects for both schemes and measure
-// execution time and L1-missed accesses on the timing simulator, normalized
-// to the unprotected baseline. Traces are captured once per application
-// (concurrently, on the suite's worker pool) and then every
-// (application, scheme, level) timing run — baseline included — fans out
-// as its own task unit; each task replays the shared read-only traces
-// through a private engine, exactly as the hardware proposal adds copy
-// transactions at the LD/ST unit. Points are assembled and normalized in
-// the serial sweep order, so output is identical at any worker count.
-func Fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
+// fig7Overhead is Fig7Overhead's compute path (store miss): for every
+// application, sweep the cumulative number of protected data objects for
+// both schemes and measure execution time and L1-missed accesses on the
+// timing simulator, normalized to the unprotected baseline. Traces are
+// captured once per application (concurrently, on the suite's worker pool)
+// and then every (application, scheme, level) timing run — baseline
+// included — fans out as its own task unit; each task replays the shared
+// read-only traces through a private engine, exactly as the hardware
+// proposal adds copy transactions at the LD/ST unit. Points are assembled
+// and normalized in the serial sweep order, so output is identical at any
+// worker count. The wrapper has already resolved defaults.
+func fig7Overhead(s *Suite, cfg Fig7Config) ([]Fig7Point, error) {
 	apps := cfg.Apps
-	if len(apps) == 0 {
-		apps = s.EvaluatedNames()
-	}
 	policy := cfg.Policy
-	if policy == 0 {
-		policy = timing.GTO
-	}
 	gpu := arch.Default()
 
 	// Phase 1: build every application and capture its baseline traces.

@@ -112,20 +112,17 @@ func MissWeightedSelector(app *kernels.App, plan *core.Plan) (fault.Selector, er
 	return fault.NewWeightedSelector(blocks, weights)
 }
 
-// Fig9Resilience runs the Fig. 9 experiment: inject faults across the whole
-// application address space (block choice weighted by L1-missed accesses,
-// replicas included) and count SDC outcomes as protection cumulatively
-// covers more data objects under each scheme. Each (application,
-// scheme, level) configuration — plan construction, miss-weighted selector
-// timing run, and its fault campaigns — is one task unit on the suite's
-// worker pool; cells are assembled in the serial sweep order, so output is
-// identical at any worker count.
-func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
-	cfg = cfg.withDefaults()
+// fig9Resilience is Fig9Resilience's compute path (store miss): inject
+// faults across the whole application address space (block choice weighted
+// by L1-missed accesses, replicas included) and count SDC outcomes as
+// protection cumulatively covers more data objects under each scheme. Each
+// (application, scheme, level) configuration — plan construction,
+// miss-weighted selector timing run, and its fault campaigns — is one task
+// unit on the suite's worker pool; cells are assembled in the serial sweep
+// order, so output is identical at any worker count. The wrapper has
+// already resolved defaults.
+func fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 	apps := cfg.Apps
-	if len(apps) == 0 {
-		apps = s.EvaluatedNames()
-	}
 
 	// Phase 1: build every application's baseline checkpoint (the shared
 	// prerequisite of every configuration task: image, golden output, and

@@ -50,10 +50,8 @@ type Fig3Result struct {
 	HotPattern bool
 }
 
-// Fig3AccessProfiles profiles every application (including the two
-// counter-examples) and returns the Fig. 3 series. Applications are
-// profiled concurrently on the suite's worker pool.
-func Fig3AccessProfiles(s *Suite, points int) ([]Fig3Result, error) {
+// fig3AccessProfiles is Fig3AccessProfiles' compute path (store miss).
+func fig3AccessProfiles(s *Suite, points int) ([]Fig3Result, error) {
 	if points <= 0 {
 		points = 100
 	}
@@ -89,10 +87,8 @@ type Fig4Result struct {
 	Series []float64
 }
 
-// Fig4WarpSharing returns the Fig. 4 series, profiling its four
-// applications concurrently (profiles already collected for Fig. 3 are
-// reused from the suite memo).
-func Fig4WarpSharing(s *Suite, points int) ([]Fig4Result, error) {
+// fig4WarpSharing is Fig4WarpSharing's compute path (store miss).
+func fig4WarpSharing(s *Suite, points int) ([]Fig4Result, error) {
 	if points <= 0 {
 		points = 100
 	}
@@ -129,9 +125,8 @@ type Table3Row struct {
 	HotAccessPercent float64
 }
 
-// Table3DataObjects reproduces Table III for the evaluated applications,
-// profiling them concurrently on the suite's worker pool.
-func Table3DataObjects(s *Suite) ([]Table3Row, error) {
+// table3DataObjects is Table3DataObjects' compute path (store miss).
+func table3DataObjects(s *Suite) ([]Table3Row, error) {
 	names := s.EvaluatedNames()
 	out := make([]Table3Row, len(names))
 	err := s.runTasks("table3: data objects", len(names), func(i int) error {
@@ -251,17 +246,12 @@ type Fig6Cell struct {
 	Result fault.Result
 }
 
-// Fig6HotVsRest runs the Fig. 6 experiment: inject faults into hot memory
-// blocks versus the rest of the accessed blocks (no protection enabled) and
-// count SDC outcomes. Applications fan out over the suite's worker pool;
-// each application's campaigns run its space × model grid in the serial
-// order, so the returned cells match a serial run exactly.
-func Fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
-	cfg = cfg.withDefaults()
+// fig6HotVsRest is Fig6HotVsRest's compute path (store miss): applications
+// fan out over the suite's worker pool; each application's campaigns run
+// its space × model grid in the serial order, so the returned cells match
+// a serial run exactly. The wrapper has already resolved defaults.
+func fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 	apps := cfg.Apps
-	if len(apps) == 0 {
-		apps = s.EvaluatedNames()
-	}
 	perApp := make([][]Fig6Cell, len(apps))
 	err := s.runTasks("fig6: campaigns", len(apps), func(i int) error {
 		cells, err := fig6App(s, cfg, apps[i])

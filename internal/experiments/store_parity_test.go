@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/store"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+// parityOutputs computes the store-parity workload on a suite and returns
+// its JSON rendering: one small campaign figure, one timing sweep, and one
+// resilience sweep over a single cheap application. JSON is the comparison
+// form because it is exactly what the export paths serialize.
+func parityOutputs(t *testing.T, s *Suite) []byte {
+	t.Helper()
+	apps := []string{"P-BICG"}
+	fig6, err := Fig6HotVsRest(s, Fig6Config{Runs: 6, Seed: 5, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7, err := Fig7Overhead(s, Fig7Config{Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9, err := Fig9Resilience(s, Fig9Config{Runs: 6, Seed: 5, Apps: apps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(struct {
+		Fig6 []Fig6Cell
+		Fig7 []Fig7Point
+		Fig9 []Fig9Cell
+	}{fig6, fig7, fig9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func paritySuite(t *testing.T, st *store.Store, reg *telemetry.Registry) *Suite {
+	t.Helper()
+	s, err := NewSuite(SuiteConfig{NNTrainSamples: 60, Workers: 2, Store: st, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreParity is the byte-identical-results gate: suite output with the
+// store enabled — cold against an empty disk store, and warm from a fresh
+// process over the same directory — must match the storeless in-memory
+// path exactly. It runs under -race in CI.
+func TestStoreParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sweeps in -short mode")
+	}
+	dir := t.TempDir()
+
+	// A: no explicit store (private in-memory store, the storeless
+	// reference path).
+	baseline := parityOutputs(t, paritySuite(t, nil, nil))
+
+	// B: cold run against an empty disk-backed store.
+	coldStore, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := parityOutputs(t, paritySuite(t, coldStore, nil))
+	if string(cold) != string(baseline) {
+		t.Errorf("cold store-enabled output diverges from storeless output\nstoreless: %s\nstore:     %s", baseline, cold)
+	}
+
+	// C: a fresh suite and fresh store over the same directory must serve
+	// every figure from disk, byte-identically, without computing anything.
+	reg := telemetry.NewRegistry()
+	warmStore, err := store.Open(store.Config{Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := parityOutputs(t, paritySuite(t, warmStore, reg))
+	if string(warm) != string(baseline) {
+		t.Errorf("warm store-enabled output diverges from storeless output\nstoreless: %s\nstore:     %s", baseline, warm)
+	}
+	snap := reg.Snapshot()
+	if hits, ok := snap.Get("dcrm_store_disk_hits_total"); !ok || hits.Value == 0 {
+		t.Error("warm run served nothing from the disk tier")
+	}
+	for _, fig := range []string{"fig6", "fig7", "fig9"} {
+		if c, ok := snap.Get("dcrm_experiment_results_computed_total", telemetry.Label{Name: "figure", Value: fig}); ok && c.Value != 0 {
+			t.Errorf("warm run recomputed %s (%v times) despite a persisted result", fig, c.Value)
+		}
+		if r, ok := snap.Get("dcrm_experiment_results_requests_total", telemetry.Label{Name: "figure", Value: fig}); !ok || r.Value == 0 {
+			t.Errorf("warm run recorded no %s requests", fig)
+		}
+	}
+}

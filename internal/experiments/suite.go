@@ -12,24 +12,30 @@
 // assembled by index, and every per-run random stream is derived from the
 // configured seed rather than from scheduling order, so the output of a
 // parallel run is bit-identical to a serial one at any worker count. The
-// Suite itself is safe for concurrent use: its application, profile,
-// golden-output, trace, and campaign-checkpoint memos are once-guarded per
-// key, so concurrent experiments share one profiling pass instead of
-// racing or repeating it.
+// Suite itself is safe for concurrent use: its applications, profiles,
+// golden outputs, traces, campaign checkpoints, and whole-figure results
+// live in a content-addressed result store (internal/store) whose
+// singleflight front guarantees concurrent experiments share one build per
+// key instead of racing or repeating it. Pointing SuiteConfig.Store at a
+// disk-backed store makes profiles, goldens, and figure results survive
+// the process, so repeat invocations warm-start and skip unchanged work
+// entirely.
 package experiments
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/kernels"
 	"github.com/datacentric-gpu/dcrm/internal/mem"
 	"github.com/datacentric-gpu/dcrm/internal/nn"
 	"github.com/datacentric-gpu/dcrm/internal/profile"
 	"github.com/datacentric-gpu/dcrm/internal/simt"
+	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
 // Scale selects the workload input sizes.
@@ -86,6 +92,17 @@ type SuiteConfig struct {
 	// watched over cmd/dcrmd's /metrics endpoint. Observation only: results
 	// are bit-identical with or without a registry attached.
 	Telemetry *telemetry.Registry
+	// Store, when non-nil, is the content-addressed result store backing
+	// every suite artifact and figure result. A disk-backed store
+	// (store.Config.Dir / the CLIs' -store-dir flag) makes results survive
+	// across invocations. Nil opens a private in-memory store, which
+	// reproduces the old per-suite memo behaviour exactly. Every store key
+	// folds in the full suite identity (build version, GPU configuration,
+	// seed, scale), so a shared store can never serve a result computed
+	// under different inputs — and because every computation is
+	// deterministic in those inputs, a store hit is byte-identical to
+	// recomputing.
+	Store *store.Store
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -119,51 +136,22 @@ func (s Scale) spec() scaleSpec {
 	}
 }
 
-// memo is a concurrency-safe per-key build cache. The map lock is held
-// only to find or insert an entry; the build itself runs under the entry's
-// sync.Once, so concurrent callers for the same key share one build while
-// different keys build in parallel. Errors are memoized too — every build
-// here is deterministic, so a failure would simply repeat.
-type memo[T any] struct {
-	mu sync.Mutex
-	m  map[string]*memoEntry[T]
-}
-
-type memoEntry[T any] struct {
-	once sync.Once
-	val  T
-	err  error
-}
-
-func (c *memo[T]) get(key string, build func() (T, error)) (T, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[string]*memoEntry[T])
-	}
-	e := c.m[key]
-	if e == nil {
-		e = &memoEntry[T]{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
-	return e.val, e.err
-}
-
 // Suite builds and caches the paper's applications, their profiles, their
 // fault-free golden outputs, their baseline traces, and their campaign
-// checkpoints. Building C-NN's network is expensive, so one network is
-// shared across every C-NN instance the experiments create. All methods
-// are safe for concurrent use; the memoized artifacts are built once per
-// key and must be treated as read-only by callers.
+// checkpoints, all through the content-addressed result store. Building
+// C-NN's network is expensive, so one network is shared across every C-NN
+// instance the experiments create. All methods are safe for concurrent
+// use; the cached artifacts are built once per key and must be treated as
+// read-only by callers.
 type Suite struct {
-	cfg         SuiteConfig
-	net         *nn.Network
-	apps        memo[*kernels.App]
-	profiles    memo[*profile.Profile]
-	goldens     memo[[]float32]
-	traces      memo[[]*simt.KernelTrace]
-	checkpoints memo[*Checkpoint]
+	cfg SuiteConfig
+	net *nn.Network
+	st  *store.Store
+	// base is the canonical suite identity folded into every store key:
+	// everything a cached result depends on. Workers, Progress, and
+	// Telemetry are deliberately excluded — they are observation-only and
+	// never change results.
+	base string
 }
 
 // NewSuite constructs the suite (training the shared C-NN network once).
@@ -173,8 +161,27 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &Suite{cfg: cfg, net: net}, nil
+	st := cfg.Store
+	if st == nil {
+		st, err = store.Open(store.Config{Telemetry: cfg.Telemetry})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
+	base := fmt.Sprintf("%s|gpu=%+v|seed=%d|scale=%s|nn=%d",
+		version.String(), arch.Default(), cfg.Seed, cfg.Scale, cfg.NNTrainSamples)
+	return &Suite{cfg: cfg, net: net, st: st, base: base}, nil
 }
+
+// key starts a store key in the given namespace with the suite identity
+// already folded in.
+func (s *Suite) key(ns string) *store.KeyBuilder {
+	return store.NewKey(ns).Field("suite", s.base)
+}
+
+// Store exposes the suite's result store (for status inspection; never nil
+// after NewSuite).
+func (s *Suite) Store() *store.Store { return s.st }
 
 // AllNames returns every application label, evaluated apps first.
 func (s *Suite) AllNames() []string {
@@ -229,48 +236,75 @@ func (s *Suite) Fresh(name string) (*kernels.App, error) {
 	return b.Build()
 }
 
-// App returns the cached base instance of the named application.
+// App returns the cached base instance of the named application. Live
+// objects (memory image, closures) never persist to disk — the store's
+// memory tier alone backs them.
 func (s *Suite) App(name string) (*kernels.App, error) {
-	return s.apps.get(name, func() (*kernels.App, error) {
-		return s.Fresh(name)
-	})
+	return store.Do(s.st, s.key("app").Field("name", name).Key(),
+		store.Options[*kernels.App]{Size: func(a *kernels.App) int64 {
+			return int64(a.Mem.Size())
+		}},
+		func() (*kernels.App, error) {
+			return s.Fresh(name)
+		})
 }
 
 // Profile returns the cached access profile of the named application.
 // Concurrent callers (Fig. 3/4/6 and Table III racing over the same app)
-// share a single profiling pass.
+// share a single profiling pass, and with a disk-backed store the pass
+// survives the process.
 func (s *Suite) Profile(name string) (*profile.Profile, error) {
-	return s.profiles.get(name, func() (*profile.Profile, error) {
-		a, err := s.App(name)
-		if err != nil {
-			return nil, err
-		}
-		return profile.Collect(a)
-	})
+	return store.Do(s.st, s.key("profile").Field("name", name).Key(),
+		store.Options[*profile.Profile]{Persist: true},
+		func() (*profile.Profile, error) {
+			a, err := s.App(name)
+			if err != nil {
+				return nil, err
+			}
+			return profile.Collect(a)
+		})
 }
 
 // Golden returns the cached fault-free output of the named application.
 func (s *Suite) Golden(name string) ([]float32, error) {
-	return s.goldens.get(name, func() ([]float32, error) {
-		a, err := s.App(name)
-		if err != nil {
-			return nil, err
-		}
-		return a.GoldenRun()
-	})
+	return store.Do(s.st, s.key("golden").Field("name", name).Key(),
+		store.Options[[]float32]{Persist: true},
+		func() ([]float32, error) {
+			a, err := s.App(name)
+			if err != nil {
+				return nil, err
+			}
+			return a.GoldenRun()
+		})
 }
 
 // Traces returns the cached unprotected per-kernel traces of the named
 // application's base instance. The timing engine treats traces as
-// read-only, so one capture feeds any number of concurrent replays.
+// read-only, so one capture feeds any number of concurrent replays. Traces
+// are memory-only: they are cheap to recapture relative to their bulk.
 func (s *Suite) Traces(name string) ([]*simt.KernelTrace, error) {
-	return s.traces.get(name, func() ([]*simt.KernelTrace, error) {
-		a, err := s.App(name)
-		if err != nil {
-			return nil, err
+	return store.Do(s.st, s.key("traces").Field("name", name).Key(),
+		store.Options[[]*simt.KernelTrace]{Size: traceFootprint},
+		func() ([]*simt.KernelTrace, error) {
+			a, err := s.App(name)
+			if err != nil {
+				return nil, err
+			}
+			return a.TraceRun(nil)
+		})
+}
+
+// traceFootprint estimates a trace capture's resident bytes for the
+// store's LRU accounting.
+func traceFootprint(traces []*simt.KernelTrace) int64 {
+	const instrBytes = 24 // Instr value plus slice overhead, roughly
+	var n int64
+	for _, kt := range traces {
+		for _, w := range kt.Warps {
+			n += int64(len(w)) * instrBytes
 		}
-		return a.TraceRun(nil)
-	})
+	}
+	return n
 }
 
 // PlanFor builds a protection plan on a fresh instance of the application,

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Key is the content address of one stored result: the canonical rendering
+// of every input that determines the result, plus its SHA-256 digest. Two
+// computations share a cache entry exactly when their canonical strings are
+// equal, so every field that can change the output — application, scheme,
+// protection level, simulator configuration, code version — must be folded
+// in by the caller.
+type Key struct {
+	canonical string
+	hash      string
+}
+
+// String returns the canonical key text (for logs and tests).
+func (k Key) String() string { return k.canonical }
+
+// Hash returns the hex SHA-256 of the canonical text — the address used by
+// both store tiers and the disk tier's file name.
+func (k Key) Hash() string { return k.hash }
+
+// IsZero reports whether the key was never built.
+func (k Key) IsZero() bool { return k.hash == "" }
+
+// KeyBuilder accumulates named fields into a canonical key. Field order is
+// part of the canonical form, so callers must append fields in a fixed
+// order (every call site in this repository does; there is no sorting).
+type KeyBuilder struct {
+	ns     string
+	fields []string
+}
+
+// NewKey starts a key in the given namespace (e.g. "fig6", "profile").
+func NewKey(namespace string) *KeyBuilder {
+	return &KeyBuilder{ns: namespace}
+}
+
+// Field appends one named input, rendered with %+v. Values must have a
+// deterministic rendering: structs of scalars, slices, and strings are
+// fine; maps are not (iteration order would leak into the key).
+func (b *KeyBuilder) Field(name string, v any) *KeyBuilder {
+	b.fields = append(b.fields, fmt.Sprintf("%s=%+v", name, v))
+	return b
+}
+
+// Key finalizes the canonical form and digests it.
+func (b *KeyBuilder) Key() Key {
+	canonical := b.ns + "{" + strings.Join(b.fields, "|") + "}"
+	sum := sha256.Sum256([]byte(canonical))
+	return Key{canonical: canonical, hash: hex.EncodeToString(sum[:])}
+}

@@ -1,0 +1,91 @@
+package store
+
+import "container/list"
+
+// lruEntry is one resident value with its accounted size.
+type lruEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// lru is the byte-budgeted in-memory tier: a classic map + intrusive list
+// LRU evicting least-recently-used entries once the accounted bytes exceed
+// the budget. Not safe for concurrent use on its own; the Store serializes
+// access under its own mutex.
+type lru struct {
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+func newLRU(budget int64) *lru {
+	return &lru{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the value for key and marks it most recently used.
+func (c *lru) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key and evicts from the cold end until the
+// budget holds again. Values larger than the whole budget are not admitted
+// (they would only evict everything else to be evicted next); callers still
+// hold the computed value. Returns the number of entries evicted.
+func (c *lru) put(key string, v any, size int64) (evicted int) {
+	if size < 1 {
+		size = 1
+	}
+	if size > c.budget {
+		c.remove(key)
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.used += size - e.size
+		e.val, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v, size: size})
+		c.used += size
+	}
+	for c.used > c.budget {
+		cold := c.ll.Back()
+		if cold == nil {
+			break
+		}
+		e := cold.Value.(*lruEntry)
+		if e.key == key {
+			break // never evict the entry just admitted
+		}
+		c.evict(cold)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops key if present.
+func (c *lru) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.evict(el)
+	}
+}
+
+func (c *lru) evict(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+}
+
+// bytes returns the accounted resident size.
+func (c *lru) bytes() int64 { return c.used }
+
+// len returns the resident entry count.
+func (c *lru) len() int { return len(c.items) }

@@ -1,0 +1,46 @@
+package store
+
+import "sync"
+
+// flightCall is one in-progress computation; joiners block on done.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// flightGroup coalesces concurrent computations of the same key: the first
+// caller runs fn, everyone who arrives while it is in flight blocks and
+// shares the result. Unlike the store tiers, the group holds nothing after
+// the call returns — errors are never cached, and completed results are the
+// tiers' responsibility.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// do runs fn once per key among concurrent callers. The returned bool
+// reports whether this caller joined another caller's flight rather than
+// running fn itself.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

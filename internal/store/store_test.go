@@ -1,0 +1,333 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	s, ok := reg.Snapshot().Get(name)
+	if !ok {
+		t.Fatalf("no sample %q", name)
+	}
+	return s.Value
+}
+
+func TestKeyCanonicalAndStable(t *testing.T) {
+	a := NewKey("fig6").Field("app", "P-BICG").Field("runs", 100).Key()
+	b := NewKey("fig6").Field("app", "P-BICG").Field("runs", 100).Key()
+	if a.Hash() != b.Hash() || a.String() != b.String() {
+		t.Fatalf("identical inputs produced different keys: %v vs %v", a, b)
+	}
+	c := NewKey("fig6").Field("app", "P-BICG").Field("runs", 101).Key()
+	if a.Hash() == c.Hash() {
+		t.Fatalf("different inputs collided: %v vs %v", a, c)
+	}
+	d := NewKey("fig9").Field("app", "P-BICG").Field("runs", 100).Key()
+	if a.Hash() == d.Hash() {
+		t.Fatal("namespace not folded into the key")
+	}
+	if a.IsZero() || (Key{}).IsZero() == false {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestDoMemoizesAndCountsHits(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Config{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	k := NewKey("t").Field("x", 1).Key()
+	for i := 0; i < 5; i++ {
+		v, err := Do(s, k, Options[int]{}, func() (int, error) {
+			computes.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if got := counterValue(t, reg, "dcrm_store_mem_hits_total"); got != 4 {
+		t.Errorf("mem hits = %v, want 4", got)
+	}
+	if got := counterValue(t, reg, "dcrm_store_computes_total"); got != 1 {
+		t.Errorf("computes = %v, want 1", got)
+	}
+}
+
+func TestDoErrorsAreNotCached(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("t").Field("x", 1).Key()
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := Do(s, k, Options[int]{}, func() (int, error) {
+			calls++
+			return 0, fmt.Errorf("boom %d", calls)
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("error was cached: %d calls, want 2", calls)
+	}
+	v, err := Do(s, k, Options[int]{}, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recovery Do = %v, %v", v, err)
+	}
+}
+
+func TestNilStoreIsStoreless(t *testing.T) {
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := Do[int](nil, NewKey("t").Key(), Options[int]{}, func() (int, error) {
+			calls++
+			return calls, nil
+		})
+		if err != nil || v != calls {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("nil store cached: %d calls, want 3", calls)
+	}
+}
+
+func TestLRUEvictsByByteBudget(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Config{MemBytes: 100, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) Key { return NewKey("t").Field("i", i).Key() }
+	size := func([]byte) int64 { return 40 }
+	mk := func(i int) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte{byte(i)}, nil }
+	}
+	for i := 0; i < 3; i++ { // 3 × 40 B > 100 B budget → entry 0 evicted
+		if _, err := Do(s, key(i), Options[[]byte]{Size: size}, mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Contains(key(0)) {
+		t.Error("coldest entry still resident past the byte budget")
+	}
+	if !s.Contains(key(1)) || !s.Contains(key(2)) {
+		t.Error("hot entries evicted")
+	}
+	if got := counterValue(t, reg, "dcrm_store_mem_evictions_total"); got != 1 {
+		t.Errorf("evictions = %v, want 1", got)
+	}
+	// An entry larger than the whole budget is served but not admitted.
+	big := NewKey("t").Field("i", "big").Key()
+	if _, err := Do(s, big, Options[[]byte]{Size: func([]byte) int64 { return 1000 }}, mk(9)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(big) {
+		t.Error("oversized entry admitted")
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Config{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("t").Field("x", 1).Key()
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := Do(s, k, Options[int]{}, func() (int, error) {
+				computes.Add(1)
+				<-gate // hold the flight open so everyone piles on
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	for !s.InFlight(k) { // wait until the first caller owns the flight
+		runtime.Gosched()
+	}
+	// Give the remaining callers time to reach the flight before releasing
+	// it, so the shared counter has something to count.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times under concurrency, want 1", n)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+	shared := counterValue(t, reg, "dcrm_store_flight_shared_total")
+	if shared == 0 {
+		t.Error("no caller recorded as joining the shared flight")
+	}
+}
+
+type diskVal struct {
+	Name   string
+	Series []float64
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper", "store")
+	reg := telemetry.NewRegistry()
+	s1, err := Open(Config{Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("t").Field("x", 1).Key()
+	want := diskVal{Name: "p", Series: []float64{1.5, 2.25, -3}}
+	if _, err := Do(s1, k, Options[diskVal]{Persist: true}, func() (diskVal, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory serves from disk without
+	// computing.
+	s2, err := Open(Config{Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Do(s2, k, Options[diskVal]{Persist: true}, func() (diskVal, error) {
+		t.Fatal("computed despite a persisted entry")
+		return diskVal{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Series) != len(want.Series) {
+		t.Fatalf("disk round trip = %+v, want %+v", got, want)
+	}
+	for i := range want.Series {
+		if got.Series[i] != want.Series[i] {
+			t.Fatalf("series[%d] = %v, want %v", i, got.Series[i], want.Series[i])
+		}
+	}
+	if hits := counterValue(t, reg, "dcrm_store_disk_hits_total"); hits != 1 {
+		t.Errorf("disk hits = %v, want 1", hits)
+	}
+}
+
+func TestDiskTierToleratesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	k := NewKey("t").Field("x", 1).Key()
+	corruptions := []struct {
+		name string
+		mut  func(path string) error
+	}{
+		{"truncated", func(p string) error { return os.Truncate(p, 10) }},
+		{"bit-flipped", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[len(raw)-1] ^= 0xff
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"foreign-magic", func(p string) error {
+			return os.WriteFile(p, []byte("not a store file at all"), 0o644)
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := Open(Config{Dir: dir, Telemetry: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Do(s, k, Options[diskVal]{Persist: true}, func() (diskVal, error) {
+				return diskVal{Name: "v"}, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			path := s.disk.path(k.Hash())
+			if err := c.mut(path); err != nil {
+				t.Fatal(err)
+			}
+			// A fresh store (empty memory tier) must treat the damaged file
+			// as a miss and recompute, not fail.
+			s2, err := Open(Config{Dir: dir, Telemetry: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recomputed := false
+			got, err := Do(s2, k, Options[diskVal]{Persist: true}, func() (diskVal, error) {
+				recomputed = true
+				return diskVal{Name: "v"}, nil
+			})
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced an error: %v", err)
+			}
+			if !recomputed || got.Name != "v" {
+				t.Fatalf("recomputed=%v got=%+v", recomputed, got)
+			}
+			if _, err := os.Stat(path); err == nil {
+				// write-back happens on the recompute, so the path may exist
+				// again — but it must now read back clean.
+				if _, found, corrupt := s2.disk.read(k.Hash()); corrupt || !found {
+					t.Error("recomputed entry did not heal the disk file")
+				}
+			}
+		})
+	}
+	if c := counterValue(t, reg, "dcrm_store_disk_corrupt_total"); c < 3 {
+		t.Errorf("corrupt counter = %v, want >= 3", c)
+	}
+}
+
+// TestOpenCreatesNestedDir is the parent-directory regression contract for
+// -store-dir: pointing any CLI at a path whose parents do not exist yet
+// must work on the first run in a fresh checkout.
+func TestOpenCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "c")
+	if _, err := Open(Config{Dir: dir}); err != nil {
+		t.Fatalf("Open(%s) = %v", dir, err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("store dir not created: %v", err)
+	}
+}
+
+func TestTypeMismatchSurfacesError(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey("t").Field("x", 1).Key()
+	if _, err := Do(s, k, Options[int]{}, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Do(s, k, Options[string]{}, func() (string, error) { return "x", nil }); err == nil {
+		t.Fatal("one key serving two types did not error")
+	}
+}

@@ -37,11 +37,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case e.hist != nil:
 			f.samples = Snapshot{e.hist.sample(name, nil)}
 		case e.cvec != nil:
-			f.samples = e.cvec.samples(name)
+			f.samples = e.cvec.appendSamples(nil, name)
 		case e.gvec != nil:
-			f.samples = e.gvec.samples(name)
+			f.samples = e.gvec.appendSamples(nil, name)
 		case e.hvec != nil:
-			f.samples = e.hvec.samples(name)
+			f.samples = e.hvec.appendSamples(nil, name)
 		}
 		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].less(f.samples[j]) })
 		families = append(families, f)

@@ -177,9 +177,31 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return e.hist
 }
 
+// seriesLocked counts the registry's current series (one per plain metric,
+// one per labeled-family child); the caller holds mu.
+func (r *Registry) seriesLocked() int {
+	n := 0
+	for _, e := range r.metrics {
+		switch {
+		case e.cvec != nil:
+			n += e.cvec.v.len()
+		case e.gvec != nil:
+			n += e.gvec.v.len()
+		case e.hvec != nil:
+			n += e.hvec.v.len()
+		default:
+			n++
+		}
+	}
+	return n
+}
+
 // snapshotLocked renders the registry's current state; the caller holds mu.
+// The result slice is sized to the series count up front, so a snapshot of
+// a settled registry costs one slice allocation plus the per-sample label
+// and bucket copies.
 func (r *Registry) snapshotLocked() Snapshot {
-	var out Snapshot
+	out := make(Snapshot, 0, r.seriesLocked())
 	for name, e := range r.metrics {
 		switch {
 		case e.counter != nil:
@@ -189,15 +211,34 @@ func (r *Registry) snapshotLocked() Snapshot {
 		case e.hist != nil:
 			out = append(out, e.hist.sample(name, nil))
 		case e.cvec != nil:
-			out = append(out, e.cvec.samples(name)...)
+			out = e.cvec.appendSamples(out, name)
 		case e.gvec != nil:
-			out = append(out, e.gvec.samples(name)...)
+			out = e.gvec.appendSamples(out, name)
 		case e.hvec != nil:
-			out = append(out, e.hvec.samples(name)...)
+			out = e.hvec.appendSamples(out, name)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	// Sort by precomputed keys: deriving the key inside the comparator
+	// would allocate on every comparison (O(n log n) garbage per scrape).
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].key()
+	}
+	sort.Sort(&snapshotSorter{samples: out, keys: keys})
 	return out
+}
+
+// snapshotSorter orders samples and their cached keys together.
+type snapshotSorter struct {
+	samples Snapshot
+	keys    []string
+}
+
+func (s *snapshotSorter) Len() int           { return len(s.samples) }
+func (s *snapshotSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *snapshotSorter) Swap(i, j int) {
+	s.samples[i], s.samples[j] = s.samples[j], s.samples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Snapshot returns a sorted point-in-time copy of every metric. The result

@@ -42,6 +42,13 @@ func (v *vec[T]) with(family string, values []string) *T {
 	return k
 }
 
+// len returns the current child count (the family's series count).
+func (v *vec[T]) len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.kids)
+}
+
 // each visits every child with its reconstructed label set.
 func (v *vec[T]) each(fn func(labels []Label, child *T)) {
 	v.mu.RLock()
@@ -81,8 +88,9 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // use). Resolve once outside hot loops; the returned pointer stays valid.
 func (c *CounterVec) With(values ...string) *Counter { return c.v.with(c.name, values) }
 
-func (c *CounterVec) samples(name string) Snapshot {
-	var out Snapshot
+// appendSamples appends one sample per child to out (which the registry
+// pre-sizes from the series count, keeping snapshots allocation-lean).
+func (c *CounterVec) appendSamples(out Snapshot, name string) Snapshot {
 	c.v.each(func(labels []Label, k *Counter) {
 		out = append(out, Sample{Name: name, Labels: labels, Kind: KindCounter, Value: float64(k.Value())})
 	})
@@ -109,8 +117,7 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // With returns the child gauge for the label values.
 func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(g.name, values) }
 
-func (g *GaugeVec) samples(name string) Snapshot {
-	var out Snapshot
+func (g *GaugeVec) appendSamples(out Snapshot, name string) Snapshot {
 	g.v.each(func(labels []Label, k *Gauge) {
 		out = append(out, Sample{Name: name, Labels: labels, Kind: KindGauge, Value: k.Value()})
 	})
@@ -139,8 +146,7 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 // With returns the child histogram for the label values.
 func (h *HistogramVec) With(values ...string) *Histogram { return h.v.with(h.name, values) }
 
-func (h *HistogramVec) samples(name string) Snapshot {
-	var out Snapshot
+func (h *HistogramVec) appendSamples(out Snapshot, name string) Snapshot {
 	h.v.each(func(labels []Label, k *Histogram) {
 		out = append(out, k.sample(name, labels))
 	})

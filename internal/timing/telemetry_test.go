@@ -183,6 +183,22 @@ func runBenchmark(b *testing.B, instrument bool) {
 			b.Fatal(err)
 		}
 	}
+	if instrument {
+		// Scraping the registry the run just filled must stay cheap: the
+		// snapshot slice is pre-sized from the series count and sort keys
+		// are rendered once per sample, so a Snapshot+Delta pair is bounded
+		// by a few allocations per series (labels, sort keys, and bucket
+		// copies), not by repeated slice growth or comparator-time garbage.
+		b.StopTimer()
+		prev := e.Metrics.Snapshot()
+		series := len(prev)
+		allocs := testing.AllocsPerRun(10, func() {
+			e.Metrics.Snapshot().Delta(prev)
+		})
+		if max := float64(6*series + 16); allocs > max {
+			b.Errorf("Snapshot+Delta over %d series = %.0f allocs, want <= %.0f", series, allocs, max)
+		}
+	}
 }
 
 // BenchmarkRunKernelBaseline measures the uninstrumented timing engine.

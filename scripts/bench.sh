@@ -2,29 +2,33 @@
 # Regenerate the committed benchmark baselines.
 #
 # Runs the steady-state timing-replay benchmarks (BenchmarkRunKernel and
-# its Detection/Correction variants) into BENCH_timing.json (or $1), and
-# the campaign fast-path benchmarks (BenchmarkCampaignFig6/9) into
-# BENCH_campaign.json (or $2). The campaign file also carries the frozen
-# pre-fork clone-path measurements under the *PreFork names, so
-# scripts/bench_compare.sh can report the fast-path speedup against the
-# code the fork + checkpoint path replaced. CI re-runs this with a short
-# BENCHTIME and compares against the committed baselines (warn-only).
+# its Detection/Correction variants) into BENCH_timing.json (or $1), the
+# campaign fast-path benchmarks (BenchmarkCampaignFig6/9) into
+# BENCH_campaign.json (or $2), and the daemon serving benchmarks
+# (BenchmarkDcrmdHotServe cold/warm/dup) into BENCH_serve.json (or $3).
+# The campaign file also carries the frozen pre-fork clone-path
+# measurements under the *PreFork names, so scripts/bench_compare.sh can
+# report the fast-path speedup against the code the fork + checkpoint path
+# replaced. CI re-runs this with a short BENCHTIME and compares against
+# the committed baselines (warn-only).
 #
-#   scripts/bench.sh                  # refresh both baselines (1s rounds)
-#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json
+#   scripts/bench.sh                  # refresh all baselines (1s rounds)
+#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH_timing.json}"
 CAMPAIGN_OUT="${2:-BENCH_campaign.json}"
+SERVE_OUT="${3:-BENCH_serve.json}"
 
 # Frozen pre-fork baseline: the clone-per-run campaign path measured at
 # the commit that introduced copy-on-write forking (same benchmark
-# configurations, -benchtime 2s). Kept as data, not re-run — the code it
-# measured is gone.
-PREFORK_ENTRIES='    {"name": "BenchmarkCampaignFig6PreFork", "iterations": 0, "ns_per_op": 141245682, "bytes_per_op": 16833190, "allocs_per_op": 2209},
-    {"name": "BenchmarkCampaignFig9PreFork", "iterations": 0, "ns_per_op": 205210604, "bytes_per_op": 18726577, "allocs_per_op": 9303},'
+# configurations, -benchtime 2s). Marked "frozen": true — kept as data,
+# never re-run, because the code it measured is gone;
+# scripts/bench_compare.sh labels and skips them accordingly.
+PREFORK_ENTRIES='    {"name": "BenchmarkCampaignFig6PreFork", "frozen": true, "iterations": 0, "ns_per_op": 141245682, "bytes_per_op": 16833190, "allocs_per_op": 2209},
+    {"name": "BenchmarkCampaignFig9PreFork", "frozen": true, "iterations": 0, "ns_per_op": 205210604, "bytes_per_op": 18726577, "allocs_per_op": 9303},'
 
 # render_json RAW BENCHTIME [EXTRA_ENTRY_LINES] -> JSON on stdout
 render_json() {
@@ -63,3 +67,10 @@ raw=$(go test ./internal/experiments -run '^$' \
 echo "$raw" >&2
 render_json "$raw" "$BENCHTIME" "$PREFORK_ENTRIES" > "$CAMPAIGN_OUT"
 echo "wrote $CAMPAIGN_OUT" >&2
+
+raw=$(go test ./cmd/dcrmd -run '^$' \
+  -bench 'BenchmarkDcrmdHotServe' \
+  -benchmem -benchtime "$BENCHTIME")
+echo "$raw" >&2
+render_json "$raw" "$BENCHTIME" > "$SERVE_OUT"
+echo "wrote $SERVE_OUT" >&2

@@ -11,19 +11,26 @@ BASE="${1:-BENCH_timing.json}"
 CUR="${2:?usage: bench_compare.sh baseline.json current.json}"
 
 # The generator emits one benchmark object per line, so field extraction
-# needs no JSON tooling.
+# needs no JSON tooling. Output: name ns_per_op allocs_per_op frozen.
 parse() {
   awk '/"name"/ {
-    name = ""; ns = ""; allocs = ""
+    name = ""; ns = ""; allocs = ""; frozen = "no"
     nf = split($0, parts, /[,{}]/)
     for (i = 1; i <= nf; i++) {
       if (parts[i] ~ /"name"/)          { split(parts[i], kv, /"/); name = kv[4] }
       if (parts[i] ~ /"ns_per_op"/)     { split(parts[i], kv, /:/); gsub(/ /, "", kv[2]); ns = kv[2] }
       if (parts[i] ~ /"allocs_per_op"/) { split(parts[i], kv, /:/); gsub(/ /, "", kv[2]); allocs = kv[2] }
+      if (parts[i] ~ /"frozen"/ && parts[i] ~ /true/) { frozen = "yes" }
     }
-    if (name != "") print name, ns, allocs
+    if (name != "") print name, ns, allocs, frozen
   }' "$1"
 }
+
+# parse_live keeps only entries expected to re-run. Frozen entries are
+# historical measurements of deleted code — comparing a fresh run against
+# them is meaningless, so they are excluded here and labeled in the
+# speedup report below.
+parse_live() { parse "$1" | awk '$4 == "no" { print $1, $2, $3 }'; }
 
 status=ok
 while read -r name bns ballocs cns callocs; do
@@ -39,12 +46,13 @@ while read -r name bns ballocs cns callocs; do
     echo "WARNING: $name allocs/op regressed ${callocs} vs baseline ${ballocs}"
     status=warn
   fi
-done < <(join <(parse "$BASE" | sort) <(parse "$CUR" | sort))
+done < <(join <(parse_live "$BASE" | sort) <(parse_live "$CUR" | sort))
 
-# Fast-path speedup report: a baseline entry named <X>PreFork freezes the
-# ns/op of the code <X> replaced; compare the current <X> against it and
-# warn (only) if the promised >=3x advantage has eroded.
+# Fast-path speedup report: a frozen baseline entry named <X>PreFork
+# pins the ns/op of the code <X> replaced; compare the current <X> against
+# it and warn (only) if the promised >=3x advantage has eroded.
 while read -r name prens; do
+  printf '%-32s (frozen baseline, not re-run)\n' "$name"
   cur=$(parse "$CUR" | awk -v n="${name%PreFork}" '$1 == n { print $2 }')
   [ -n "$cur" ] || continue
   speedup=$(awk -v pre="$prens" -v cur="$cur" 'BEGIN { printf "%.2f", pre / cur }')
@@ -54,7 +62,21 @@ while read -r name prens; do
     echo "WARNING: ${name%PreFork} fast-path speedup ${speedup}x below the 3x floor"
     status=warn
   fi
-done < <(parse "$BASE" | awk '$1 ~ /PreFork$/ { print $1, $2 }')
+done < <(parse "$BASE" | awk '$4 == "yes" { print $1, $2 }')
+
+# Store fast-path gate: when the file carries the daemon serving
+# benchmarks, the warm (store-hit) path must stay >=10x faster than a
+# cold compute; below that the result store is no longer earning its keep.
+cold=$(parse "$CUR" | awk '$1 == "BenchmarkDcrmdHotServe/cold" { print $2 }')
+warm=$(parse "$CUR" | awk '$1 == "BenchmarkDcrmdHotServe/warm" { print $2 }')
+if [ -n "$cold" ] && [ -n "$warm" ]; then
+  ratio=$(awk -v c="$cold" -v w="$warm" 'BEGIN { printf "%.1f", c / w }')
+  echo "dcrmd serve: cold ${cold} ns/op, warm ${warm} ns/op (${ratio}x)"
+  if awk -v r="$ratio" 'BEGIN { exit !(r < 10.0) }'; then
+    echo "WARNING: warm serve speedup ${ratio}x below the 10x floor"
+    status=warn
+  fi
+fi
 
 [ "$status" = ok ] && echo "benchmarks within tolerance of the committed baseline"
 exit 0
