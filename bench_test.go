@@ -340,7 +340,7 @@ func BenchmarkCampaignSingleConfig(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model := fault.Model{BitsPerWord: 4, Blocks: 5}
+	model := fault.StuckAt{BitsPerWord: 4, Blocks: 5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := cp.Campaign(fault.Campaign{Runs: 100, Seed: int64(i + 1)}, model, sel)

@@ -12,6 +12,10 @@
 //	POST /v1/campaigns       start a campaign: {"kind":"fig6","runs":200,"apps":["P-BICG"]}
 //	GET  /v1/campaigns/{id}  one job, JSON result included once done
 //
+// Campaign kinds are fig6, fig7, fig9, and breakdown (the fault-model ×
+// scheme outcome breakdown; accepts "models": a list of fault-model specs
+// such as "transient:flips=2" — see docs/FAULT-MODELS.md).
+//
 // Usage:
 //
 //	dcrmd [-addr :8080] [-workers 0] [-scale small] [-store-dir DIR] [-max-inflight N]

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
 	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
@@ -26,6 +28,15 @@ var jobKinds = map[string]func(*experiments.Suite, jobParams) (any, error){
 	"fig9": func(s *experiments.Suite, p jobParams) (any, error) {
 		return experiments.Fig9Resilience(s, experiments.Fig9Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps})
 	},
+	"breakdown": func(s *experiments.Suite, p jobParams) (any, error) {
+		models, err := p.models()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.FaultModelBreakdown(s, experiments.BreakdownConfig{
+			Runs: p.Runs, Seed: p.Seed, Apps: p.Apps, Models: models,
+		})
+	},
 }
 
 // jobParams are the per-campaign knobs accepted by POST /v1/campaigns.
@@ -35,6 +46,19 @@ type jobParams struct {
 	Apps []string `json:"apps,omitempty"`
 	Runs int      `json:"runs,omitempty"`
 	Seed int64    `json:"seed,omitempty"`
+	// Models are fault-model registry specs ("stuck-at:bits=3,blocks=1"),
+	// one per entry; empty falls back to the experiment's own sweep. Only
+	// the breakdown kind consumes them today; other kinds reject them so a
+	// typo'd request fails loudly instead of silently running defaults.
+	Models []string `json:"models,omitempty"`
+}
+
+// models parses the fault-model specs, empty meaning "experiment default".
+func (p jobParams) models() ([]fault.Model, error) {
+	if len(p.Models) == 0 {
+		return nil, nil
+	}
+	return fault.ParseModels(strings.Join(p.Models, ";"))
 }
 
 // jobState is the lifecycle of a submitted campaign.
@@ -133,6 +157,7 @@ func requestKey(kind string, params jobParams) string {
 		Field("apps", params.Apps).
 		Field("runs", params.Runs).
 		Field("seed", params.Seed).
+		Field("models", params.Models).
 		Key().Hash()
 }
 
@@ -158,7 +183,17 @@ func (r *runner) getSuite() (*experiments.Suite, error) {
 func (r *runner) submit(kind string, params jobParams) (job, error) {
 	runFn, ok := jobKinds[kind]
 	if !ok {
-		return job{}, fmt.Errorf("unknown campaign kind %q (want fig6, fig7, or fig9)", kind)
+		return job{}, fmt.Errorf("unknown campaign kind %q (want fig6, fig7, fig9, or breakdown)", kind)
+	}
+	if len(params.Models) > 0 {
+		if kind != "breakdown" {
+			return job{}, fmt.Errorf("campaign kind %q does not accept models (only breakdown does)", kind)
+		}
+		// Reject malformed specs at submission so the client sees the parse
+		// error as a 400, not a failed background job.
+		if _, err := params.models(); err != nil {
+			return job{}, err
+		}
 	}
 	key := requestKey(kind, params)
 

@@ -188,3 +188,80 @@ func TestDaemonUnknownCampaign(t *testing.T) {
 		t.Errorf("unknown id = %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestDaemonBreakdownKind drives the fault-model breakdown job: model-spec
+// validation at submission time, the background run, and DUE counts
+// surfacing in the JSON result.
+func TestDaemonBreakdownKind(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Malformed and misplaced model specs fail fast with 400, before any
+	// background work starts.
+	for _, body := range []string{
+		`{"kind":"breakdown","models":["flaky"]}`,
+		`{"kind":"breakdown","models":["transient:flips=two"]}`,
+		`{"kind":"fig6","models":["transient"]}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	body := `{"kind":"breakdown","apps":["P-BICG"],"runs":6,"seed":3,"models":["transient:flips=2"]}`
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted job
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST breakdown = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var finished job
+	for {
+		getJSON(t, srv.URL+"/v1/campaigns/"+submitted.ID, &finished)
+		if finished.State == stateDone || finished.State == stateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breakdown stuck in state %q", finished.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if finished.State != stateDone {
+		t.Fatalf("breakdown failed: %s", finished.Error)
+	}
+	cells, ok := finished.Result.([]any)
+	if !ok || len(cells) != 3 { // baseline + two schemes × one model
+		t.Fatalf("breakdown result = %T with %d cells, want 3", finished.Result, len(cells))
+	}
+	// Every cell carries the full outcome taxonomy, DUE included, and the
+	// model identity that produced it.
+	for _, raw := range cells {
+		cell, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("cell is %T", raw)
+		}
+		res, ok := cell["Result"].(map[string]any)
+		if !ok {
+			t.Fatalf("cell result is %T", cell["Result"])
+		}
+		if _, ok := res["DUERuns"]; !ok {
+			t.Errorf("cell result has no DUERuns field: %v", res)
+		}
+		model, ok := cell["Model"].(map[string]any)
+		if !ok || model["Name"] != "transient" {
+			t.Errorf("cell model = %v, want transient", cell["Model"])
+		}
+	}
+}

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0] [-quiet]
-//	            [-csv dir] [-store-dir dir]
+//	            [-model spec[;spec...]] [-breakdown] [-csv dir] [-store-dir dir]
 //
 // Campaign progress (completed configurations, elapsed time, ETA) is
 // reported on stderr; -quiet silences it. Results on stdout are
-// byte-identical either way. With -csv the Fig. 6 cells are also exported
+// byte-identical either way. With -csv the result cells are also exported
 // as CSV (parent directories are created as needed); with -store-dir the
 // campaign result is persisted to a content-addressed store so a repeat
 // invocation with the same configuration answers without recomputing.
+//
+// -model selects the fault models swept, as semicolon-separated registry
+// specs ("stuck-at:bits=3,blocks=1;transient:flips=2"); see
+// docs/FAULT-MODELS.md for the catalog. -breakdown switches from the
+// Fig. 6 hot-vs-rest experiment to the fault-model × scheme outcome
+// breakdown over all ten applications, reporting the full outcome
+// taxonomy including detected-uncorrectable (DUE) runs.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"strings"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
 	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
@@ -35,17 +43,27 @@ func main() {
 
 func run() error {
 	runs := flag.Int("runs", 1000, "fault-injection runs per configuration (paper: 1000)")
-	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight)")
+	apps := flag.String("apps", "", "comma-separated applications (default: the evaluated eight; -breakdown: all ten)")
 	seed := flag.Int64("seed", 7, "campaign seed")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
-	csvDir := flag.String("csv", "", "also export the Fig. 6 cells as CSV into this directory (created if missing)")
+	modelSpec := flag.String("model", "", "semicolon-separated fault-model specs, e.g. \"stuck-at:bits=3;transient:flips=2\" (default: the experiment's own sweep; known models: "+strings.Join(fault.ModelNames(), ", ")+")")
+	breakdown := flag.Bool("breakdown", false, "run the fault-model × scheme outcome breakdown instead of Fig. 6")
+	csvDir := flag.String("csv", "", "also export the result cells as CSV into this directory (created if missing)")
 	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return nil
+	}
+
+	var models []fault.Model
+	if *modelSpec != "" {
+		var err error
+		if models, err = fault.ParseModels(*modelSpec); err != nil {
+			return err
+		}
 	}
 
 	scfg := experiments.SuiteConfig{
@@ -63,18 +81,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Fig6Config{Runs: *runs, Seed: *seed}
+	var appList []string
 	if *apps != "" {
-		cfg.Apps = strings.Split(*apps, ",")
+		appList = strings.Split(*apps, ",")
 	}
 
-	fmt.Printf("Fig. 6 — SDC outcomes out of %d runs: hot blocks vs rest of memory\n\n", *runs)
+	if *breakdown {
+		return runBreakdown(suite, experiments.BreakdownConfig{
+			Runs: *runs, Seed: *seed, Models: models, Apps: appList,
+		}, *csvDir)
+	}
+	return runFig6(suite, experiments.Fig6Config{
+		Runs: *runs, Seed: *seed, Models: models, Apps: appList,
+	}, *csvDir)
+}
+
+// runFig6 runs the hot-vs-rest campaign and renders its table.
+func runFig6(suite *experiments.Suite, cfg experiments.Fig6Config, csvDir string) error {
+	fmt.Printf("Fig. 6 — SDC outcomes out of %d runs: hot blocks vs rest of memory\n\n", cfg.Runs)
 	cells, err := experiments.Fig6HotVsRest(suite, cfg)
 	if err != nil {
 		return err
 	}
-	if *csvDir != "" {
-		if err := experiments.ExportFig6CSV(*csvDir, cells); err != nil {
+	if csvDir != "" {
+		if err := experiments.ExportFig6CSV(csvDir, cells); err != nil {
 			return err
 		}
 	}
@@ -90,5 +120,41 @@ func run() error {
 	}
 	fmt.Print(experiments.RenderTable(
 		[]string{"application", "space", "faults", "SDC", "masked", "crashed", "95% CI"}, rows))
+	return nil
+}
+
+// runBreakdown runs the fault-model × scheme outcome breakdown and renders
+// the full outcome distribution, one row per (application, scheme, model)
+// cell, in the canonical outcome order (DUE included).
+func runBreakdown(suite *experiments.Suite, cfg experiments.BreakdownConfig, csvDir string) error {
+	fmt.Printf("Fault-model × scheme outcome breakdown — %d runs per cell\n\n", cfg.Runs)
+	cells, err := experiments.FaultModelBreakdown(suite, cfg)
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := experiments.ExportBreakdownCSV(csvDir, cells); err != nil {
+			return err
+		}
+	}
+	header := []string{"application", "scheme", "model"}
+	for _, o := range fault.Outcomes() {
+		header = append(header, o.String())
+	}
+	header = append(header, "95% CI")
+	var rows [][]string
+	for _, c := range cells {
+		scheme := c.Scheme.String()
+		if c.Level == 0 {
+			scheme = "baseline"
+		}
+		row := []string{c.App, scheme, c.Model.String()}
+		for _, o := range fault.Outcomes() {
+			row = append(row, fmt.Sprintf("%d", c.Result.Count(o)))
+		}
+		row = append(row, fmt.Sprintf("±%.1f%%", 100*c.Result.ConfidenceHalfWidth()))
+		rows = append(rows, row)
+	}
+	fmt.Print(experiments.RenderTable(header, rows))
 	return nil
 }

@@ -77,7 +77,7 @@ type FaultModel struct {
 }
 
 func (m FaultModel) internal() fault.Model {
-	return fault.Model{BitsPerWord: m.Bits, Blocks: m.Blocks}
+	return fault.StuckAt{BitsPerWord: m.Bits, Blocks: m.Blocks}
 }
 
 // Target selects which memory the fault injector aims at.
@@ -285,6 +285,9 @@ type CampaignResult struct {
 	Masked int
 	// Crashed counts runs aborted by fault-induced failures.
 	Crashed int
+	// DUE counts detected-uncorrectable errors: the fault was caught by
+	// ECC or duplication but could not be repaired, aborting the run.
+	DUE int
 	// ConfidencePct is the 95% confidence half-width of the SDC rate, in
 	// percentage points.
 	ConfidencePct float64
@@ -341,6 +344,7 @@ func (w *Workload) Campaign(cfg CampaignConfig) (CampaignResult, error) {
 		Detected:      res.DetectedRuns,
 		Masked:        res.MaskedRuns,
 		Crashed:       res.CrashedRuns,
+		DUE:           res.DUERuns,
 		ConfidencePct: 100 * res.ConfidenceHalfWidth(),
 	}, nil
 }

@@ -51,7 +51,7 @@ func benchHotSelector(b *testing.B, s *Suite, name string) *fault.SetSelector {
 func BenchmarkCampaignFig6(b *testing.B) {
 	s := testSuite(b)
 	sel := benchHotSelector(b, s, "P-BICG")
-	model := fault.Model{BitsPerWord: 2, Blocks: 1}
+	model := fault.StuckAt{BitsPerWord: 2, Blocks: 1}
 	cp, err := s.Checkpoint("P-BICG", core.None, 0)
 	if err != nil {
 		b.Fatal(err)
@@ -83,7 +83,7 @@ func BenchmarkCampaignFig9(b *testing.B) {
 		b.Fatal(err)
 	}
 	level := baseApp.HotCount
-	model := fault.Model{BitsPerWord: 2, Blocks: 1}
+	model := fault.StuckAt{BitsPerWord: 2, Blocks: 1}
 	warm, err := s.Checkpoint("P-BICG", core.Detection, level)
 	if err != nil {
 		b.Fatal(err)

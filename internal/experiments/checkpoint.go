@@ -44,6 +44,13 @@ type Checkpoint struct {
 	missSel  fault.Selector
 	missErr  error
 
+	// The store-commit timeline (one instrumented timing replay) is lazy
+	// like the golden run: only campaigns under timeline-consulting fault
+	// models (fault.NeedsTimeline) ever pay for it.
+	timelineOnce sync.Once
+	timeline     *fault.Timeline
+	timelineErr  error
+
 	tele checkpointTelemetry
 }
 
@@ -53,6 +60,7 @@ type checkpointTelemetry struct {
 	forks  *telemetry.Counter
 	copies *telemetry.Counter
 	pruned *telemetry.Counter
+	pre    *telemetry.Counter
 	runs   *telemetry.Counter
 }
 
@@ -110,6 +118,8 @@ func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {
 				"128 B blocks materialized by campaign forks on first write."),
 			pruned: reg.Counter("dcrm_campaign_runs_pruned_total",
 				"Campaign runs classified Masked without execution (provably inert faults)."),
+			pre: reg.Counter("dcrm_campaign_runs_preclassified_total",
+				"Campaign runs classified at injection time (store-masked or ECC-preclassified faults), skipping execution."),
 			runs: reg.Counter("dcrm_campaign_fork_runs_total",
 				"Campaign runs executed on copy-on-write forks."),
 		}
@@ -171,29 +181,48 @@ func (cp *Checkpoint) getFork() *mem.Memory {
 }
 
 // RunOne executes one fault-injected campaign run against the checkpoint:
-// fork the golden image copy-on-write, inject, prune runs whose faults are
-// provably inert (bit-identical to the golden run, so Masked without
-// executing), otherwise execute functionally and classify by streaming
-// comparison with the golden post-run image. Safe for concurrent use; the
-// rng carries all per-run randomness, so results are bit-identical to the
-// legacy clone-per-run path at any worker count.
+// fork the golden image copy-on-write, inject under the fault model, honour
+// injection-time pre-classification (store-masked or ECC-detected transient
+// faults never execute), prune runs whose overlay faults are provably inert
+// (bit-identical to the golden run, so Masked without executing), otherwise
+// execute functionally and classify by streaming comparison with the golden
+// post-run image. Safe for concurrent use; the rng carries all per-run
+// randomness, so results are bit-identical to the legacy clone-per-run path
+// at any worker count.
 func (cp *Checkpoint) RunOne(rng *rand.Rand, model fault.Model, sel fault.Selector) (fault.Outcome, error) {
 	if err := cp.ensureGolden(); err != nil {
 		return 0, err
 	}
+	var env fault.Env
+	if fault.NeedsTimeline(model) {
+		tl, err := cp.Timeline()
+		if err != nil {
+			return 0, err
+		}
+		env.Timeline = tl
+	}
 	f := cp.getFork()
 	defer cp.forks.Put(f)
-	if _, err := fault.Inject(f, rng, model, sel); err != nil {
+	inj, err := fault.Inject(f, rng, model, sel, &env)
+	if err != nil {
 		return 0, err
 	}
-	if f.FaultsInert() {
+	if inj.Pre != 0 {
+		if cp.tele.pre != nil {
+			cp.tele.pre.Inc()
+		}
+		return inj.Pre, nil
+	}
+	// The inert prune only applies to overlay faults; a transient flip is
+	// a genuine store (DirtyBlocks > 0) that must execute even though the
+	// overlay is empty (FaultsInert is vacuously true then).
+	if f.DirtyBlocks() == 0 && f.FaultsInert() {
 		if cp.tele.pruned != nil {
 			cp.tele.pruned.Inc()
 		}
 		return fault.Masked, nil
 	}
 	before := f.CopiedBlocks()
-	var err error
 	if cp.Plan != nil {
 		err = cp.App.RunOn(f, cp.Plan.ForMemory(f))
 	} else {

@@ -142,8 +142,8 @@ func TestFig6HotVsRestShape(t *testing.T) {
 		Runs: 40,
 		Apps: []string{"P-BICG", "A-Laplacian"},
 		Models: []fault.Model{
-			{BitsPerWord: 2, Blocks: 1},
-			{BitsPerWord: 4, Blocks: 5},
+			fault.StuckAt{BitsPerWord: 2, Blocks: 1},
+			fault.StuckAt{BitsPerWord: 4, Blocks: 5},
 		},
 	})
 	if err != nil {
@@ -245,7 +245,7 @@ func TestFig9ResilienceShape(t *testing.T) {
 	cells, err := Fig9Resilience(s, Fig9Config{
 		Runs:   40,
 		Apps:   []string{"P-BICG"},
-		Models: []fault.Model{{BitsPerWord: 3, Blocks: 5}},
+		Models: []fault.Model{fault.StuckAt{BitsPerWord: 3, Blocks: 5}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
 )
 
 // writeCSV writes one CSV file under dir.
@@ -33,6 +34,30 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 func fmtI(v int) string     { return strconv.Itoa(v) }
+
+// outcomeHeader returns the campaign-outcome column names in the canonical
+// fault.Outcomes() order. Every campaign CSV exporter shares it (and
+// outcomeColumns), so column order is deterministic by construction —
+// never derived from map iteration — and pinned by the export golden test.
+func outcomeHeader() []string {
+	outs := fault.Outcomes()
+	names := make([]string, len(outs))
+	for i, o := range outs {
+		names[i] = o.String()
+	}
+	return names
+}
+
+// outcomeColumns renders one campaign result's outcome counts in the same
+// canonical order as outcomeHeader.
+func outcomeColumns(r fault.Result) []string {
+	outs := fault.Outcomes()
+	cols := make([]string, len(outs))
+	for i, o := range outs {
+		cols[i] = fmtI(r.Count(o))
+	}
+	return cols
+}
 
 // ExportFig2CSV writes the Fig. 2 dataset as CSV for plotting.
 func ExportFig2CSV(dir string) error {
@@ -83,18 +108,16 @@ func ExportTable3CSV(dir string, rows3 []Table3Row) error {
 		[]string{"app", "rank", "object", "hot", "reads", "hot_size_percent", "hot_access_percent"}, rows)
 }
 
-// ExportFig6CSV writes the hot-vs-rest campaign results.
+// ExportFig6CSV writes the hot-vs-rest campaign results. Outcome columns
+// follow the canonical fault.Outcomes() order.
 func ExportFig6CSV(dir string, cells []Fig6Cell) error {
 	var rows [][]string
 	for _, c := range cells {
-		rows = append(rows, []string{
-			c.App, c.Space, fmtI(c.Model.BitsPerWord), fmtI(c.Model.Blocks),
-			fmtI(c.Result.Runs), fmtI(c.Result.SDCRuns),
-			fmtI(c.Result.MaskedRuns), fmtI(c.Result.CrashedRuns),
-		})
+		row := []string{c.App, c.Space, c.Model.Name, c.Model.Params, fmtI(c.Result.Runs)}
+		rows = append(rows, append(row, outcomeColumns(c.Result)...))
 	}
-	return writeCSV(dir, "fig6_hot_vs_rest.csv",
-		[]string{"app", "space", "bits", "blocks", "runs", "sdc", "masked", "crashed"}, rows)
+	header := append([]string{"app", "space", "model", "params", "runs"}, outcomeHeader()...)
+	return writeCSV(dir, "fig6_hot_vs_rest.csv", header, rows)
 }
 
 // ExportFig7CSV writes the performance sweep.
@@ -112,7 +135,8 @@ func ExportFig7CSV(dir string, points []Fig7Point) error {
 		[]string{"app", "scheme", "objects", "cycles", "l1_misses", "norm_time", "norm_misses"}, rows)
 }
 
-// ExportFig9CSV writes the resilience campaign results.
+// ExportFig9CSV writes the resilience campaign results. Outcome columns
+// follow the canonical fault.Outcomes() order.
 func ExportFig9CSV(dir string, cells []Fig9Cell) error {
 	var rows [][]string
 	for _, c := range cells {
@@ -120,14 +144,25 @@ func ExportFig9CSV(dir string, cells []Fig9Cell) error {
 		if c.Scheme == core.None {
 			scheme = "baseline"
 		}
-		rows = append(rows, []string{
-			c.App, scheme, fmtI(c.Level),
-			fmtI(c.Model.BitsPerWord), fmtI(c.Model.Blocks),
-			fmtI(c.Result.Runs), fmtI(c.Result.SDCRuns),
-			fmtI(c.Result.DetectedRuns), fmtI(c.Result.MaskedRuns),
-			fmtI(c.Result.CrashedRuns),
-		})
+		row := []string{c.App, scheme, fmtI(c.Level), c.Model.Name, c.Model.Params, fmtI(c.Result.Runs)}
+		rows = append(rows, append(row, outcomeColumns(c.Result)...))
 	}
-	return writeCSV(dir, "fig9_resilience.csv",
-		[]string{"app", "scheme", "objects", "bits", "blocks", "runs", "sdc", "detected", "masked", "crashed"}, rows)
+	header := append([]string{"app", "scheme", "objects", "model", "params", "runs"}, outcomeHeader()...)
+	return writeCSV(dir, "fig9_resilience.csv", header, rows)
+}
+
+// ExportBreakdownCSV writes the fault-model × scheme outcome breakdown.
+// Outcome columns follow the canonical fault.Outcomes() order.
+func ExportBreakdownCSV(dir string, cells []BreakdownCell) error {
+	var rows [][]string
+	for _, c := range cells {
+		scheme := c.Scheme.String()
+		if c.Scheme == core.None {
+			scheme = "baseline"
+		}
+		row := []string{c.App, scheme, fmtI(c.Level), c.Model.Name, c.Model.Params, fmtI(c.Result.Runs)}
+		rows = append(rows, append(row, outcomeColumns(c.Result)...))
+	}
+	header := append([]string{"app", "scheme", "objects", "model", "params", "runs"}, outcomeHeader()...)
+	return writeCSV(dir, "fault_model_breakdown.csv", header, rows)
 }

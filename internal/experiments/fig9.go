@@ -53,8 +53,10 @@ type Fig9Cell struct {
 	Scheme core.Scheme
 	// Level is the cumulative number of protected objects (0 = baseline;
 	// plotted once under scheme None).
-	Level  int
-	Model  fault.Model
+	Level int
+	// Model identifies the fault configuration (serializable: cells
+	// persist through the gob-encoded result store).
+	Model  fault.ModelInfo
 	Result fault.Result
 }
 
@@ -177,7 +179,7 @@ func fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 			if err != nil {
 				return fmt.Errorf("experiments: fig9 %s %v L%d %v: %w", t.app, t.scheme, t.level, model, err)
 			}
-			cells = append(cells, Fig9Cell{App: t.app, Scheme: t.scheme, Level: t.level, Model: model, Result: res})
+			cells = append(cells, Fig9Cell{App: t.app, Scheme: t.scheme, Level: t.level, Model: fault.Info(model), Result: res})
 		}
 		perTask[i] = cells
 		return nil
@@ -200,7 +202,7 @@ func fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 func SDCDropPercent(cells []Fig9Cell, hotLevels map[string]int) float64 {
 	type key struct {
 		app   string
-		model fault.Model
+		model fault.ModelInfo
 	}
 	baseline := make(map[key]int)
 	for _, c := range cells {

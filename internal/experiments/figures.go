@@ -166,7 +166,7 @@ func DefaultFaultModels() []fault.Model {
 	var out []fault.Model
 	for _, blocks := range []int{1, 5} {
 		for _, bits := range []int{2, 3, 4} {
-			out = append(out, fault.Model{BitsPerWord: bits, Blocks: blocks})
+			out = append(out, fault.StuckAt{BitsPerWord: bits, Blocks: blocks})
 		}
 	}
 	return out
@@ -240,8 +240,9 @@ type Fig6Cell struct {
 	App string
 	// Space is "hot" or "rest".
 	Space string
-	// Model is the fault configuration.
-	Model fault.Model
+	// Model identifies the fault configuration (serializable: cells
+	// persist through the gob-encoded result store).
+	Model fault.ModelInfo
 	// Result holds the campaign outcome counts.
 	Result fault.Result
 }
@@ -318,7 +319,7 @@ func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig6 %s/%s/%v: %w", name, sp.label, model, err)
 			}
-			out = append(out, Fig6Cell{App: name, Space: sp.label, Model: model, Result: res})
+			out = append(out, Fig6Cell{App: name, Space: sp.label, Model: fault.Info(model), Result: res})
 		}
 	}
 	return out, nil

@@ -23,7 +23,7 @@ func TestCampaignForkParity(t *testing.T) {
 	// 3 stuck bits per word: about half the injected words escape the
 	// inert-fault prune, so both the pruned path and the executed path are
 	// exercised in every campaign.
-	model := fault.Model{BitsPerWord: 3, Blocks: 1}
+	model := fault.StuckAt{BitsPerWord: 3, Blocks: 1}
 
 	for _, name := range s.AllNames() {
 		for _, scheme := range []core.Scheme{core.None, core.Detection, core.Correction} {
@@ -59,7 +59,7 @@ func TestCampaignForkParity(t *testing.T) {
 			legacy, err := fault.Campaign{Runs: runs, Seed: seed, Workers: 1}.Execute(
 				func(_ int, rng *rand.Rand) (fault.Outcome, error) {
 					clone := cp.App.Mem.Clone()
-					if _, err := fault.Inject(clone, rng, model, sel); err != nil {
+					if _, err := fault.Inject(clone, rng, model, sel, nil); err != nil {
 						return 0, err
 					}
 					return ClassifyRun(cp.App, clone, cp.Plan, golden)

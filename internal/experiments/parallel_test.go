@@ -70,7 +70,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	f6cfg := Fig6Config{
 		Runs:   24,
 		Apps:   []string{"P-BICG", "A-Laplacian"},
-		Models: []fault.Model{{BitsPerWord: 2, Blocks: 1}, {BitsPerWord: 4, Blocks: 5}},
+		Models: []fault.Model{fault.StuckAt{BitsPerWord: 2, Blocks: 1}, fault.StuckAt{BitsPerWord: 4, Blocks: 5}},
 	}
 	f6s, err := Fig6HotVsRest(serial, f6cfg)
 	if err != nil {
@@ -100,7 +100,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	f9cfg := Fig9Config{
 		Runs:   24,
 		Apps:   []string{"P-BICG"},
-		Models: []fault.Model{{BitsPerWord: 3, Blocks: 5}},
+		Models: []fault.Model{fault.StuckAt{BitsPerWord: 3, Blocks: 5}},
 	}
 	f9s, err := Fig9Resilience(serial, f9cfg)
 	if err != nil {
@@ -133,7 +133,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	f6cfg := Fig6Config{
 		Runs:   24,
 		Apps:   []string{"P-BICG"},
-		Models: []fault.Model{{BitsPerWord: 2, Blocks: 1}},
+		Models: []fault.Model{fault.StuckAt{BitsPerWord: 2, Blocks: 1}},
 	}
 	f6s, err := Fig6HotVsRest(serial, f6cfg)
 	if err != nil {

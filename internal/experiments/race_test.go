@@ -28,7 +28,7 @@ func TestCampaignRaceClean(t *testing.T) {
 	c := fault.Campaign{Runs: 24, Seed: 3, Workers: 8}
 	if _, err := c.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
 		clone := app.Mem.Clone()
-		if _, err := fault.Inject(clone, rng, fault.Model{BitsPerWord: 3, Blocks: 5}, sel); err != nil {
+		if _, err := fault.Inject(clone, rng, fault.StuckAt{BitsPerWord: 3, Blocks: 5}, sel, nil); err != nil {
 			return 0, err
 		}
 		return ClassifyRun(app, clone, plan, golden)

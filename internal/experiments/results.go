@@ -5,6 +5,7 @@ import (
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
 	"github.com/datacentric-gpu/dcrm/internal/store"
 	"github.com/datacentric-gpu/dcrm/internal/timing"
 )
@@ -76,7 +77,7 @@ func Fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 		s.key("fig6").
 			Field("runs", cfg.Runs).
 			Field("seed", cfg.Seed).
-			Field("models", cfg.Models).
+			Field("models", fault.ModelsKey(cfg.Models)).
 			Field("apps", cfg.Apps),
 		func() ([]Fig6Cell, error) { return fig6HotVsRest(s, cfg) })
 }
@@ -108,7 +109,7 @@ func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 		s.key("fig9").
 			Field("runs", cfg.Runs).
 			Field("seed", cfg.Seed).
-			Field("models", cfg.Models).
+			Field("models", fault.ModelsKey(cfg.Models)).
 			Field("apps", cfg.Apps).
 			Field("schemes", cfg.Schemes),
 		func() ([]Fig9Cell, error) { return fig9Resilience(s, cfg) })

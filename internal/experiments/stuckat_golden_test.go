@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+var updateStuckAtGolden = flag.Bool("update-stuckat-golden", false,
+	"regenerate testdata/stuckat_golden.json from the current stuck-at injector")
+
+// stuckAtGoldenRow is one campaign configuration's outcome counts in the
+// golden file.
+type stuckAtGoldenRow struct {
+	App    string       `json:"app"`
+	Scheme string       `json:"scheme"`
+	Level  int          `json:"level"`
+	Result fault.Result `json:"result"`
+}
+
+// TestStuckAtGoldenOutcomes pins the stuck-at injector's exact campaign
+// outcomes across every application and scheme against a committed golden
+// file generated before the fault-model refactor. Any change to the
+// injector's RNG consumption order, the inert-fault prune, or the
+// classifier changes some count here, so a pass certifies the refactored
+// model is byte-identical to the pre-refactor injector (CI runs this gate
+// under -race alongside TestCampaignForkParity).
+func TestStuckAtGoldenOutcomes(t *testing.T) {
+	s := testSuite(t)
+	const (
+		runs = 16
+		seed = int64(4242)
+	)
+	model := fault.StuckAt{BitsPerWord: 3, Blocks: 1}
+
+	schemes := []core.Scheme{core.None, core.Detection, core.Correction}
+	var got []stuckAtGoldenRow
+	for _, name := range s.AllNames() {
+		base, err := s.App(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range schemes {
+			level := 0
+			if scheme != core.None {
+				level = base.HotCount
+			}
+			cp, err := s.Checkpoint(name, scheme, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks := make([]arch.BlockAddr, cp.App.Mem.TotalBlocks())
+			for i := range blocks {
+				blocks[i] = arch.BlockAddr(i)
+			}
+			sel, err := fault.NewSetSelector(blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cp.Campaign(fault.Campaign{Runs: runs, Seed: seed}, model, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, stuckAtGoldenRow{
+				App: name, Scheme: scheme.String(), Level: level, Result: res,
+			})
+		}
+	}
+
+	path := filepath.Join("testdata", "stuckat_golden.json")
+	if *updateStuckAtGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d rows to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-stuckat-golden): %v", err)
+	}
+	var want []stuckAtGoldenRow
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d (%s %s L%d): got %+v, golden %+v",
+				i, want[i].App, want[i].Scheme, want[i].Level, got[i].Result, want[i].Result)
+		}
+	}
+}

@@ -26,6 +26,12 @@ const (
 	// Crashed: the run failed for another reason (e.g. a fault-induced
 	// out-of-bounds access).
 	Crashed
+	// DUE: detected uncorrectable error — ECC or a duplication scheme saw
+	// the corruption but could not repair it, so the run aborted rather
+	// than producing (possibly wrong) output. Distinct from Detected,
+	// where the protection scheme terminates cleanly by design, and from
+	// SDC, where nothing signalled at all.
+	DUE
 )
 
 // String renders the outcome.
@@ -39,9 +45,19 @@ func (o Outcome) String() string {
 		return "detected"
 	case Crashed:
 		return "crashed"
+	case DUE:
+		return "due"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
+}
+
+// Outcomes lists every outcome in canonical presentation order — the
+// order telemetry labels, CSV columns, and report tables share. Exporters
+// iterate this slice (never a map), which is what keeps column order
+// deterministic across runs.
+func Outcomes() []Outcome {
+	return []Outcome{Masked, SDC, Detected, Crashed, DUE}
 }
 
 // RunFunc executes one fault-injected run. Implementations clone the golden
@@ -76,6 +92,24 @@ type Result struct {
 	SDCRuns      int
 	DetectedRuns int
 	CrashedRuns  int
+	DUERuns      int
+}
+
+// Count returns the tally for one outcome (0 for invalid outcomes).
+func (r Result) Count(o Outcome) int {
+	switch o {
+	case Masked:
+		return r.MaskedRuns
+	case SDC:
+		return r.SDCRuns
+	case Detected:
+		return r.DetectedRuns
+	case Crashed:
+		return r.CrashedRuns
+	case DUE:
+		return r.DUERuns
+	}
+	return 0
 }
 
 // SDCRate returns the fraction of runs that produced silent data
@@ -137,7 +171,7 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 			"Fault-injection runs completed, by outcome.", "outcome")
 	}
 	record := func(o Outcome, err error) {
-		if outcomes != nil && err == nil && o >= Masked && o <= Crashed {
+		if outcomes != nil && err == nil && o >= Masked && o <= DUE {
 			outcomes.With(o.String()).Inc()
 		}
 		mu.Lock()
@@ -157,6 +191,8 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 			res.DetectedRuns++
 		case Crashed:
 			res.CrashedRuns++
+		case DUE:
+			res.DUERuns++
 		default:
 			if firstEr == nil {
 				firstEr = fmt.Errorf("fault: run returned invalid outcome %d", int(o))

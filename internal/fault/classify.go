@@ -8,6 +8,14 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/metrics"
 )
 
+// ErrUncorrectable is the sentinel for detected-uncorrectable
+// terminations: ECC or a duplication scheme saw the corruption but could
+// not repair it, so the run was aborted. Run functions wrap it (matched
+// with errors.Is) and the Classifier maps it to DUE. Models that can
+// prove uncorrectable detection at injection time short-circuit through
+// Injection.Pre instead and never execute the run.
+var ErrUncorrectable = errors.New("fault: detected uncorrectable error")
+
 // Classifier maps fault-injected runs to Outcomes against a golden
 // checkpoint. The fast path is data-centric: instead of always extracting
 // the output vector and evaluating the quality metric, the post-run forked
@@ -37,6 +45,9 @@ type Classifier struct {
 // comparison finds a divergence from the golden image.
 func (c *Classifier) Classify(runErr error, m *mem.Memory, output func(*mem.Memory) []float32) (Outcome, error) {
 	if runErr != nil {
+		if errors.Is(runErr, ErrUncorrectable) {
+			return DUE, nil
+		}
 		if c.DetectErr != nil && errors.Is(runErr, c.DetectErr) {
 			return Detected, nil
 		}

@@ -51,6 +51,21 @@ func TestClassifyErrors(t *testing.T) {
 	}
 }
 
+// TestClassifyDUE: a run aborted by a detected-uncorrectable error
+// classifies as DUE, and the check outranks the scheme's own detection
+// sentinel — ECC sees the corruption before the software check would.
+func TestClassifyDUE(t *testing.T) {
+	root, _, _, c := classifyFixture(t)
+	f := root.Fork()
+	if o, err := c.Classify(fmt.Errorf("ecc: %w", ErrUncorrectable), f, nil); err != nil || o != DUE {
+		t.Errorf("uncorrectable termination → %v, %v; want DUE", o, err)
+	}
+	both := fmt.Errorf("%w (during check: %w)", ErrUncorrectable, errDetected)
+	if o, err := c.Classify(both, f, nil); err != nil || o != DUE {
+		t.Errorf("uncorrectable+detected termination → %v, %v; want DUE", o, err)
+	}
+}
+
 func TestClassifyIdenticalRunIsMaskedWithoutOutputExtraction(t *testing.T) {
 	root, out, _, c := classifyFixture(t)
 	f := root.Fork()

@@ -1,15 +1,37 @@
 // Package fault implements the paper's fault-injection methodology
-// (Section II-C): permanent stuck-at faults of 2–4 bits injected into one
-// random 32-bit word of each selected 128 B data memory block, with block
-// selection strategies for the hot/rest split of Fig. 6 and the
-// L1-miss-weighted whole-space injection of Fig. 9, and campaigns of many
-// independent runs executed in parallel with binomial confidence intervals.
+// (Section II-C), generalized into a registry of pluggable fault models.
+//
+// A Model is one named, parameterized corruption pattern; the registry
+// maps spec strings ("stuck-at:bits=3,blocks=1", "transient:flips=2",
+// "burst:width=2,words=2") to validated Model values via ParseModel, so
+// CLIs and the daemon accept models by name. Three models are built in:
+//
+//   - StuckAt — the paper's permanent stuck-at faults: 2–4 bits stuck in
+//     one random word of each selected 128 B block, living in the memory
+//     read-path overlay for the whole run.
+//   - Transient — a single-event upset: a bit flip at a deterministic
+//     instant of the replay timeline, overwritten (masked) by later
+//     stores and corrected or detected-uncorrectable by SECDED ECC.
+//   - Burst — multi-bit spatial faults: adjacent-bit × adjacent-word
+//     stuck patterns within one block, with per-word ECC pre-
+//     classification against the block's contents.
+//
+// Block targeting is factored out of the models into Selectors (the
+// hot/rest split of Fig. 6, the L1-miss-weighted whole-space selection of
+// Fig. 9), and campaigns of many independent runs execute in parallel
+// with binomial confidence intervals. Runs classify into the Outcomes
+// taxonomy — Masked, SDC, Detected, Crashed, and DUE (detected but
+// uncorrectable; the run aborts) — in the canonical Outcomes() order that
+// telemetry labels and CSV columns share.
 //
 // Campaigns are reproducible by construction: run i draws from an rng
-// derived from (Campaign.Seed, i), never from goroutine scheduling, so a
-// campaign's Result is identical at any Workers count. The experiments
-// package builds on this to keep whole-suite parallel runs bit-identical
-// to serial ones.
+// derived from (Campaign.Seed, i), never from goroutine scheduling, and
+// every model consumes that rng in a frozen order, so a campaign's Result
+// is identical at any Workers count. Model identity (ModelKey: name plus
+// canonical parameters) folds into every result-store key, so cached
+// results never alias across models. The experiments package builds on
+// both properties to keep whole-suite parallel runs bit-identical to
+// serial ones across arbitrarily large fault matrices.
 package fault
 
 import (
@@ -18,33 +40,7 @@ import (
 	"math/rand"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
-	"github.com/datacentric-gpu/dcrm/internal/mem"
 )
-
-// Model describes one injection configuration: how many blocks are made
-// faulty per run and how many bits are stuck within the targeted word.
-type Model struct {
-	// BitsPerWord is the multi-bit fault size (the paper uses 2, 3, 4).
-	BitsPerWord int
-	// Blocks is the number of faulty data memory blocks per run (1 or 5).
-	Blocks int
-}
-
-// Validate reports whether the model is usable.
-func (m Model) Validate() error {
-	if m.BitsPerWord < 1 || m.BitsPerWord > 32 {
-		return fmt.Errorf("fault: bits per word must be in [1,32], got %d", m.BitsPerWord)
-	}
-	if m.Blocks < 1 {
-		return fmt.Errorf("fault: blocks per run must be positive, got %d", m.Blocks)
-	}
-	return nil
-}
-
-// String renders the model the way the paper labels its configurations.
-func (m Model) String() string {
-	return fmt.Sprintf("%d-bit/%d-block", m.BitsPerWord, m.Blocks)
-}
 
 // Selector chooses the target blocks for one run.
 type Selector interface {
@@ -146,54 +142,4 @@ func searchCum(cum []float64, x float64) int {
 		}
 	}
 	return lo
-}
-
-// Inject applies the model to the memory: for each selected block, one
-// random word receives BitsPerWord stuck-at faults at distinct random bit
-// positions, each stuck at 0 or 1 with equal probability (Section II-C).
-// The word is drawn from the portion of the block actually covered by the
-// owning data object — small objects (a 3×3 filter, a scalar) occupy only
-// the head of their 128 B block, and a fault in the allocation padding
-// would be trivially masked. It returns the faulted blocks.
-func Inject(m *mem.Memory, rng *rand.Rand, model Model, sel Selector) ([]arch.BlockAddr, error) {
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	if sel == nil {
-		return nil, fmt.Errorf("fault: nil selector")
-	}
-	blocks := sel.Select(rng, model.Blocks)
-	for _, b := range blocks {
-		words := arch.WordsPerBlock
-		if buf, ok := m.BufferAt(b.Base()); ok {
-			used := (int(buf.Base) + buf.Size - int(b.Base()) + arch.WordBytes - 1) / arch.WordBytes
-			if used < words {
-				words = used
-			}
-			if words < 1 {
-				words = 1
-			}
-		}
-		word := rng.Intn(words)
-		addr := b.Base() + arch.Addr(word*arch.WordBytes)
-		var setMask, clrMask uint32
-		for _, bit := range rng.Perm(32)[:model.BitsPerWord] {
-			if rng.Intn(2) == 0 {
-				setMask |= 1 << uint(bit)
-			} else {
-				clrMask |= 1 << uint(bit)
-			}
-		}
-		if setMask != 0 {
-			if err := m.InjectStuckAt(addr, setMask, true); err != nil {
-				return nil, fmt.Errorf("fault: block %d: %w", b, err)
-			}
-		}
-		if clrMask != 0 {
-			if err := m.InjectStuckAt(addr, clrMask, false); err != nil {
-				return nil, fmt.Errorf("fault: block %d: %w", b, err)
-			}
-		}
-	}
-	return blocks, nil
 }

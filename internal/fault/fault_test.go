@@ -18,18 +18,18 @@ func TestModelValidate(t *testing.T) {
 		m  Model
 		ok bool
 	}{
-		{Model{BitsPerWord: 2, Blocks: 1}, true},
-		{Model{BitsPerWord: 4, Blocks: 5}, true},
-		{Model{BitsPerWord: 0, Blocks: 1}, false},
-		{Model{BitsPerWord: 33, Blocks: 1}, false},
-		{Model{BitsPerWord: 2, Blocks: 0}, false},
+		{StuckAt{BitsPerWord: 2, Blocks: 1}, true},
+		{StuckAt{BitsPerWord: 4, Blocks: 5}, true},
+		{StuckAt{BitsPerWord: 0, Blocks: 1}, false},
+		{StuckAt{BitsPerWord: 33, Blocks: 1}, false},
+		{StuckAt{BitsPerWord: 2, Blocks: 0}, false},
 	}
 	for _, tt := range tests {
 		if err := tt.m.Validate(); (err == nil) != tt.ok {
 			t.Errorf("%v.Validate() = %v, want ok=%v", tt.m, err, tt.ok)
 		}
 	}
-	if got := (Model{BitsPerWord: 3, Blocks: 5}).String(); got != "3-bit/5-block" {
+	if got := (StuckAt{BitsPerWord: 3, Blocks: 5}).String(); got != "3-bit/5-block" {
 		t.Errorf("String() = %q", got)
 	}
 }
@@ -130,10 +130,11 @@ func TestInjectPlacesExactBitCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	blocks, err := Inject(m, rng, Model{BitsPerWord: 4, Blocks: 1}, sel)
+	inj, err := Inject(m, rng, StuckAt{BitsPerWord: 4, Blocks: 1}, sel, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	blocks := inj.Blocks
 	if len(blocks) != 1 || blocks[0] != b.FirstBlock()+2 {
 		t.Fatalf("faulted blocks = %v", blocks)
 	}
@@ -172,12 +173,12 @@ func TestInjectFiveBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks, err := Inject(m, rand.New(rand.NewSource(2)), Model{BitsPerWord: 2, Blocks: 5}, sel)
+	inj, err := Inject(m, rand.New(rand.NewSource(2)), StuckAt{BitsPerWord: 2, Blocks: 5}, sel, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(blocks) != 5 {
-		t.Fatalf("faulted %d blocks, want 5", len(blocks))
+	if len(inj.Blocks) != 5 {
+		t.Fatalf("faulted %d blocks, want 5", len(inj.Blocks))
 	}
 	if m.FaultCount() == 0 {
 		t.Error("no faults recorded")
@@ -186,10 +187,13 @@ func TestInjectFiveBlocks(t *testing.T) {
 
 func TestInjectValidation(t *testing.T) {
 	m := mem.New()
-	if _, err := Inject(m, rand.New(rand.NewSource(1)), Model{}, nil); err == nil {
+	if _, err := Inject(m, rand.New(rand.NewSource(1)), nil, nil, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Inject(m, rand.New(rand.NewSource(1)), StuckAt{}, nil, nil); err == nil {
 		t.Error("invalid model accepted")
 	}
-	if _, err := Inject(m, rand.New(rand.NewSource(1)), Model{BitsPerWord: 2, Blocks: 1}, nil); err == nil {
+	if _, err := Inject(m, rand.New(rand.NewSource(1)), StuckAt{BitsPerWord: 2, Blocks: 1}, nil, nil); err == nil {
 		t.Error("nil selector accepted")
 	}
 }
@@ -208,7 +212,7 @@ func TestInjectDeterministicPerSeed(t *testing.T) {
 			if err != nil {
 				return 0
 			}
-			if _, err := Inject(m, rand.New(rand.NewSource(seed)), Model{BitsPerWord: 3, Blocks: 2}, sel); err != nil {
+			if _, err := Inject(m, rand.New(rand.NewSource(seed)), StuckAt{BitsPerWord: 3, Blocks: 2}, sel, nil); err != nil {
 				return 0
 			}
 			var sig uint32
@@ -322,11 +326,43 @@ func TestResultStatistics(t *testing.T) {
 
 func TestOutcomeString(t *testing.T) {
 	for o, want := range map[Outcome]string{
-		Masked: "masked", SDC: "sdc", Detected: "detected", Crashed: "crashed", Outcome(9): "outcome(9)",
+		Masked: "masked", SDC: "sdc", Detected: "detected", Crashed: "crashed",
+		DUE: "due", Outcome(9): "outcome(9)",
 	} {
 		if got := o.String(); got != want {
 			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), got, want)
 		}
+	}
+}
+
+// TestCampaignRecordsDUE: DUE outcomes are a first-class campaign count —
+// recorded in the result, reconciled in the run total, and surfaced on the
+// live outcome counter under the "due" label.
+func TestCampaignRecordsDUE(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := Campaign{Runs: 20, Seed: 3, Workers: 4, Metrics: reg}.Execute(
+		func(i int, _ *rand.Rand) (Outcome, error) {
+			if i%4 == 0 {
+				return DUE, nil
+			}
+			return Masked, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DUERuns != 5 || res.MaskedRuns != 15 {
+		t.Errorf("result = %+v, want 5 DUE / 15 masked", res)
+	}
+	var total int
+	for _, o := range Outcomes() {
+		total += res.Count(o)
+	}
+	if total != res.Runs {
+		t.Errorf("outcome counts sum to %d, want %d", total, res.Runs)
+	}
+	s, ok := reg.Snapshot().Get("dcrm_fault_runs_total", telemetry.Label{Name: "outcome", Value: "due"})
+	if !ok || int(s.Value) != 5 {
+		t.Errorf("counter outcome=due = %+v, want 5", s)
 	}
 }
 

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := ModelNames()
+	for _, want := range []string{"burst", "stuck-at", "transient"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ModelNames() = %v, missing %q", names, want)
+		}
+	}
+	// Sorted: ParseModel error messages and CLI help rely on stable order.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("ModelNames() not sorted: %v", names)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	tests := []struct {
+		spec string
+		want Model
+	}{
+		// Bare names take each model's documented defaults.
+		{"stuck-at", StuckAt{BitsPerWord: 3, Blocks: 1}},
+		{"transient", Transient{Flips: 2, Blocks: 1}},
+		{"burst", Burst{Width: 2, Words: 2, Blocks: 1}},
+		// Explicit parameters, partial override, and whitespace tolerance.
+		{"stuck-at:bits=4,blocks=5", StuckAt{BitsPerWord: 4, Blocks: 5}},
+		{"transient:flips=3", Transient{Flips: 3, Blocks: 1}},
+		{" burst : width=3 , words=1 ", Burst{Width: 3, Words: 1, Blocks: 1}},
+	}
+	for _, tt := range tests {
+		got, err := ParseModel(tt.spec)
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", tt.spec, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseModel(%q) = %#v, want %#v", tt.spec, got, tt.want)
+		}
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                      // empty name
+		"flaky",                 // unknown model
+		"stuck-at:volts=3",      // unknown parameter
+		"transient:flips",       // malformed pair, no '='
+		"transient:flips=two",   // non-integer value
+		"burst:width=2,width=3", // duplicate key
+		"stuck-at:bits=0",       // fails Validate
+		"burst:words=999",       // fails Validate (beyond block span)
+	} {
+		if _, err := ParseModel(spec); err == nil {
+			t.Errorf("ParseModel(%q) accepted", spec)
+		}
+	}
+	// The unknown-model error lists the registered alternatives.
+	_, err := ParseModel("flaky")
+	if err == nil || !strings.Contains(err.Error(), "stuck-at") {
+		t.Errorf("unknown-model error %v does not list registered names", err)
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	models, err := ParseModels("stuck-at:bits=2; transient ;burst:width=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 {
+		t.Fatalf("parsed %d models, want 3", len(models))
+	}
+	if models[0] != (StuckAt{BitsPerWord: 2, Blocks: 1}) ||
+		models[1] != (Transient{Flips: 2, Blocks: 1}) ||
+		models[2] != (Burst{Width: 3, Words: 2, Blocks: 1}) {
+		t.Errorf("ParseModels = %#v", models)
+	}
+	if _, err := ParseModels(""); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	if _, err := ParseModels("stuck-at;flaky"); err == nil {
+		t.Error("list with unknown model accepted")
+	}
+}
+
+// TestModelKeySeparation pins the store-key identity contract: results
+// computed under different models — or the same model at different
+// parameters — must never alias in the content-addressed store.
+func TestModelKeySeparation(t *testing.T) {
+	models := []Model{
+		StuckAt{BitsPerWord: 3, Blocks: 1},
+		StuckAt{BitsPerWord: 3, Blocks: 5},
+		StuckAt{BitsPerWord: 2, Blocks: 1},
+		Transient{Flips: 2, Blocks: 1},
+		Transient{Flips: 3, Blocks: 1},
+		Burst{Width: 2, Words: 2, Blocks: 1},
+		Burst{Width: 2, Words: 3, Blocks: 1},
+	}
+	seen := map[string]Model{}
+	for _, m := range models {
+		k := ModelKey(m)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("ModelKey collision: %v and %v both render %q", prev, m, k)
+		}
+		seen[k] = m
+	}
+	// The documented canonical form.
+	if got := ModelKey(StuckAt{BitsPerWord: 3, Blocks: 1}); got != "stuck-at{bits=3,blocks=1}" {
+		t.Errorf("ModelKey = %q", got)
+	}
+	// List identity: contents and order both matter.
+	a := ModelsKey([]Model{StuckAt{BitsPerWord: 3, Blocks: 1}, Transient{Flips: 2, Blocks: 1}})
+	b := ModelsKey([]Model{Transient{Flips: 2, Blocks: 1}, StuckAt{BitsPerWord: 3, Blocks: 1}})
+	if a == b {
+		t.Error("ModelsKey ignores order")
+	}
+	if c := ModelsKey([]Model{StuckAt{BitsPerWord: 3, Blocks: 1}}); c == a {
+		t.Error("ModelsKey ignores length")
+	}
+}
+
+// TestInfoRoundTrip: the serializable identity carries the same key and
+// label as the live model, so persisted cells stay attributable.
+func TestInfoRoundTrip(t *testing.T) {
+	m := Transient{Flips: 3, Blocks: 2}
+	info := Info(m)
+	if info.Key() != ModelKey(m) {
+		t.Errorf("Info key %q != ModelKey %q", info.Key(), ModelKey(m))
+	}
+	if info.String() != m.String() {
+		t.Errorf("Info label %q != model label %q", info.String(), m.String())
+	}
+}
+
+func TestNeedsTimeline(t *testing.T) {
+	if NeedsTimeline(StuckAt{BitsPerWord: 3, Blocks: 1}) {
+		t.Error("stuck-at claims a timeline")
+	}
+	if NeedsTimeline(Burst{Width: 2, Words: 2, Blocks: 1}) {
+		t.Error("burst claims a timeline")
+	}
+	if !NeedsTimeline(Transient{Flips: 2, Blocks: 1}) {
+		t.Error("transient does not claim a timeline")
+	}
+}
+
+func TestOutcomesCanonicalOrder(t *testing.T) {
+	want := []Outcome{Masked, SDC, Detected, Crashed, DUE}
+	got := Outcomes()
+	if len(got) != len(want) {
+		t.Fatalf("Outcomes() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Outcomes()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Count must agree with the per-field counters for every outcome.
+	r := Result{Runs: 15, MaskedRuns: 1, SDCRuns: 2, DetectedRuns: 3, CrashedRuns: 4, DUERuns: 5}
+	for o, want := range map[Outcome]int{Masked: 1, SDC: 2, Detected: 3, Crashed: 4, DUE: 5} {
+		if got := r.Count(o); got != want {
+			t.Errorf("Count(%v) = %d, want %d", o, got, want)
+		}
+	}
+}

@@ -330,6 +330,23 @@ func (m *Memory) WriteWord(wordAddr arch.Addr, v uint32) {
 	binary.LittleEndian.PutUint32(m.dirtyBuf[int(off)+int(wordAddr)%arch.BlockBytes:], v)
 }
 
+// FlipBits XORs mask into the stored bits of the 32-bit word at wordAddr —
+// write-time corruption, as a transient upset leaves behind in DRAM.
+// Unlike the stuck-at overlay the flipped value is ordinary stored data: a
+// later store overwrites it, and reads return it without reapplying any
+// fault. On a fork the write materializes the block copy-on-write like any
+// other store.
+func (m *Memory) FlipBits(wordAddr arch.Addr, mask uint32) error {
+	if wordAddr%arch.WordBytes != 0 {
+		return fmt.Errorf("mem: flip address %#x is not word aligned", wordAddr)
+	}
+	if int(wordAddr)+arch.WordBytes > m.Size() {
+		return fmt.Errorf("mem: flip address %#x beyond memory size %d", wordAddr, m.Size())
+	}
+	m.WriteWord(wordAddr, m.rawWord(wordAddr)^mask)
+	return nil
+}
+
 // ReadF32 reads a float32 through the fault overlay.
 func (m *Memory) ReadF32(addr arch.Addr) float32 {
 	return math.Float32frombits(m.ReadWord(addr))

@@ -111,6 +111,14 @@ type Engine struct {
 	// per SM, per L2 bank, and per DRAM channel, with one span per kernel
 	// and per-channel counter tracks.
 	Trace *telemetry.Trace
+	// OnStore, when non-nil, observes every store's commit at its L2 bank:
+	// the block written and the port-serialized commit cycle. One
+	// instrumented replay per application is how the fault layer captures
+	// the store-commit timeline (fault.Timeline) that decides whether a
+	// later store masks a transient flip. Observation only — attaching it
+	// does not perturb replay timing — but like Trace it belongs on
+	// dedicated instrumented replays, not on golden-stat runs.
+	OnStore func(blk arch.BlockAddr, at int64)
 
 	blockMisses map[arch.BlockAddr]uint64
 	traceMeta   bool // lane-metadata events emitted (once per engine)
@@ -131,6 +139,10 @@ type Engine struct {
 	warpNext    int
 	dramScratch []dram.Completion
 	dramPumpAt  []int64
+
+	// injectFns holds InjectAt callbacks; evInject events carry an index
+	// into it (one-shot: slots nil out after firing).
+	injectFns []func(now int64)
 
 	// Per-kernel bookkeeping.
 	trace        *simt.KernelTrace
@@ -241,7 +253,34 @@ func (e *Engine) dispatch(ev *event) {
 			e.dramPumpAt[ch] = -1
 			e.pumpDRAM(ch, now)
 		}
+	case evInject:
+		if fn := e.injectFns[ev.sm]; fn != nil {
+			e.injectFns[ev.sm] = nil
+			fn(now)
+		}
 	}
+}
+
+// InjectAt schedules fn to run exactly once when the replay reaches the
+// given cycle — the timing-engine injection hook the transient fault
+// model's semantics are defined against. The callback rides the ordinary
+// event scheduler, so it is totally ordered against every memory-system
+// event at that cycle (deterministically, by scheduling sequence). A
+// cycle already in the past is clamped to the current cycle. Call before
+// or during a replay; a callback scheduled past the kernel's natural end
+// extends the replay until it fires, so pick cycles within the span of
+// the work being replayed (instrumented replays only — never attach
+// injections to runs whose statistics feed the golden gates).
+func (e *Engine) InjectAt(cycle int64, fn func(now int64)) {
+	if fn == nil {
+		return
+	}
+	if cycle < e.now {
+		cycle = e.now
+	}
+	idx := len(e.injectFns)
+	e.injectFns = append(e.injectFns, fn)
+	e.post(cycle, event{kind: evInject, sm: int32(idx)})
 }
 
 // takeGroup pops a copy-group from the pool (or grows it), initializing
@@ -627,6 +666,9 @@ func (e *Engine) l2Access(smID, ch int, blk arch.BlockAddr, now int64, write boo
 	hitLat := int64(e.cfg.L2HitLatency)
 
 	if write {
+		if e.OnStore != nil {
+			e.OnStore(blk, st)
+		}
 		if !b.c.Write(blk) {
 			// No-write-allocate: miss goes to DRAM.
 			e.drams[ch].Enqueue(dram.Request{Block: blk, Write: true}, st+hitLat)

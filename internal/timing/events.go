@@ -33,6 +33,19 @@
 // exact global order the boxed heap produced. Determinism is therefore
 // bit-exact with the pre-optimization engine; the golden-stats test in
 // internal/experiments pins that contract across the full workload suite.
+//
+// # Fault-injection hook
+//
+// Two observation points connect the engine to the fault models in
+// internal/fault. Engine.OnStore reports every store's L2-bank commit
+// (block, cycle) — one instrumented replay of an application yields the
+// store-commit timeline the transient-SEU model uses to decide whether a
+// later store overwrites an injected flip. Engine.InjectAt schedules a
+// one-shot callback at a chosen cycle through the ordinary event
+// scheduler (kind evInject), so a replay can corrupt state at an exact,
+// deterministic point in simulated time. Both default to off and cost
+// nothing when unused; attach them only to instrumented replays, never to
+// runs whose statistics feed the golden determinism gates.
 package timing
 
 import "github.com/datacentric-gpu/dcrm/internal/arch"
@@ -62,6 +75,10 @@ const (
 	// evDRAMPump re-runs a DRAM channel's scheduler if the event is still
 	// the channel's current pump marker (dramPumpAt[ch] == now).
 	evDRAMPump
+	// evInject runs a one-shot fault-injection callback registered with
+	// Engine.InjectAt when the replay reaches its cycle. The event reuses
+	// the sm payload field as the callback's index in Engine.injectFns.
+	evInject
 )
 
 // event is one scheduled action: an ordering key plus a tagged payload.

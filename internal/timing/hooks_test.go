@@ -1,0 +1,124 @@
+package timing
+
+import (
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// TestOnStoreObservesStoreCommits: the OnStore hook sees every store
+// transaction at its L2-port-serialized commit cycle — the fault-domain
+// timestamps the transient model's overwrite masking is built on.
+func TestOnStoreObservesStoreCommits(t *testing.T) {
+	tr := mkTrace(1, []simt.Instr{
+		load(1, 0, 100),
+		compute(2),
+		store(2, 0, 100, 101),
+	})
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[arch.BlockAddr]int64{}
+	e.OnStore = func(blk arch.BlockAddr, at int64) {
+		if at <= 0 {
+			t.Errorf("store to block %d committed at cycle %d", blk, at)
+		}
+		if at > last[blk] {
+			last[blk] = at
+		}
+	}
+	ks, err := e.RunKernel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range []arch.BlockAddr{100, 101} {
+		at, ok := last[blk]
+		if !ok {
+			t.Errorf("store to block %d never observed", blk)
+			continue
+		}
+		if at > ks.Cycles {
+			t.Errorf("block %d store commit at %d, beyond the %d-cycle replay", blk, at, ks.Cycles)
+		}
+	}
+	if len(last) != 2 {
+		t.Errorf("observed stores to %d blocks, want 2", len(last))
+	}
+}
+
+// TestOnStoreIsObservationOnly: attaching the hook must not perturb the
+// replay — identical stats with and without it.
+func TestOnStoreIsObservationOnly(t *testing.T) {
+	mk := func() *simt.KernelTrace {
+		return mkTrace(1,
+			[]simt.Instr{load(1, 0, 100, 101), compute(3), store(2, 0, 100)},
+			[]simt.Instr{load(1, 0, 102), compute(1), store(2, 0, 102)},
+		)
+	}
+	bare := run(t, nil, mk())
+
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.OnStore = func(arch.BlockAddr, int64) {}
+	hooked, err := e.RunKernel(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != hooked {
+		t.Errorf("OnStore changed replay stats:\nbare:   %+v\nhooked: %+v", bare, hooked)
+	}
+}
+
+// TestInjectAtFiresOnceAtCycle: the injection callback rides the event
+// scheduler — it fires exactly once, at the requested cycle, and a spent
+// slot never refires on a later kernel.
+func TestInjectAtFiresOnceAtCycle(t *testing.T) {
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int64
+	e.InjectAt(50, func(now int64) { fired = append(fired, now) })
+	if _, err := e.RunKernel(mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 50 {
+		t.Fatalf("callback fired at %v, want exactly once at cycle 50", fired)
+	}
+	// A second kernel on the same engine must not replay the spent callback.
+	if _, err := e.RunKernel(mkTrace(1, []simt.Instr{load(1, 0, 200), compute(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("callback refired: %v", fired)
+	}
+	// nil callbacks are a no-op, not a queued crash.
+	e.InjectAt(10, nil)
+	if _, err := e.RunKernel(mkTrace(1, []simt.Instr{load(1, 0, 300), compute(1)})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectAtClampsPastCycles: a cycle already behind the engine clock
+// fires at the current cycle instead of corrupting the event order.
+func TestInjectAtClampsPastCycles(t *testing.T) {
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunKernel(mkTrace(1, []simt.Instr{load(1, 0, 100), compute(1)})); err != nil {
+		t.Fatal(err)
+	}
+	var at int64 = -1
+	e.InjectAt(0, func(now int64) { at = now }) // cycle 0 is long past by now
+	if _, err := e.RunKernel(mkTrace(1, []simt.Instr{load(1, 0, 101), compute(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if at < 0 {
+		t.Fatal("clamped callback never fired")
+	}
+}

@@ -1,0 +1,50 @@
+#!/bin/sh
+# check_links.sh — fail on broken relative links in the repo's Markdown.
+#
+# Scans every tracked *.md file for inline Markdown links ([text](target))
+# whose target is a relative path, resolves each target against the file's
+# directory, and exits non-zero listing every target that does not exist.
+# External links (scheme://, mailto:) and pure in-page anchors (#section)
+# are skipped; a relative target's own #fragment is stripped before the
+# existence check.
+#
+# Usage: scripts/check_links.sh [root]   (default: repo root / cwd)
+set -eu
+
+root=${1:-.}
+cd "$root"
+
+if command -v git >/dev/null 2>&1 && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+	files=$(git ls-files '*.md')
+else
+	files=$(find . -name '*.md' -not -path './.git/*' | sed 's|^\./||')
+fi
+
+status=0
+for f in $files; do
+	dir=$(dirname "$f")
+	# Pull out every inline link target. One link per output line even when
+	# several share a source line; code spans are not parsed, so keep
+	# example links inside fenced blocks absolute or external.
+	targets=$(grep -o '](\([^)]*\))' "$f" 2>/dev/null | sed 's/^](//; s/)$//') || continue
+	for t in $targets; do
+		case $t in
+		'' | '#'* | *://* | mailto:*) continue ;;
+		esac
+		path=${t%%#*}
+		[ -n "$path" ] || continue
+		case $path in
+		/*) resolved=".$path" ;; # treat absolute paths as repo-rooted
+		*) resolved="$dir/$path" ;;
+		esac
+		if [ ! -e "$resolved" ]; then
+			echo "BROKEN $f -> $t"
+			status=1
+		fi
+	done
+done
+
+if [ $status -ne 0 ]; then
+	echo "broken relative links found (targets resolved against each file's directory)" >&2
+fi
+exit $status
