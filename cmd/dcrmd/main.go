@@ -16,9 +16,17 @@
 // scheme outcome breakdown; accepts "models": a list of fault-model specs
 // such as "transient:flips=2" — see docs/FAULT-MODELS.md).
 //
+// The daemon is also the campaign fabric's control plane: /v1/fleet/*
+// shards fault campaigns across a worker fleet (see docs/ARCHITECTURE.md,
+// "Campaign fabric"). A second dcrmd started with -join becomes a worker
+// of that fleet:
+//
+//	dcrmd -addr :8080                          # coordinator
+//	dcrmd -join http://host:8080 -addr :8081   # worker (own /healthz + /metrics)
+//
 // Usage:
 //
-//	dcrmd [-addr :8080] [-workers 0] [-scale small] [-store-dir DIR] [-max-inflight N]
+//	dcrmd [-addr :8080] [-join URL] [-workers 0] [-scale small] [-store-dir DIR] [-max-inflight N]
 //
 // With -store-dir, results persist in a content-addressed disk store:
 // repeat campaigns over the same inputs are served from it, and restarts
@@ -53,6 +61,7 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
+	join := flag.String("join", "", "run as a fleet worker of the coordinator at this URL (e.g. http://host:8080) instead of serving the control plane")
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
 	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory (created if missing); empty = in-memory only")
@@ -84,11 +93,27 @@ func run() error {
 		}
 		cfg.Store = st
 	}
-	runner := newRunner(cfg, reg, *maxInflight)
-	srv := &http.Server{Addr: *addr, Handler: newMux(runner, reg)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *join != "" {
+		// Worker mode: execute campaign shards for the coordinator at -join.
+		// SIGTERM drains — the current shard finishes and reports first.
+		return runWorker(ctx, *join, *addr, cfg, reg)
+	}
+
+	// In-flight campaign jobs run under jobsCtx so shutdown can abort them:
+	// fan-outs stop claiming task units and campaigns stop claiming runs the
+	// moment it is cancelled, instead of holding the process until every
+	// submitted figure completes.
+	jobsCtx, jobsCancel := context.WithCancel(context.Background())
+	defer jobsCancel()
+	cfg.Context = jobsCtx
+
+	runner := newRunner(cfg, reg, *maxInflight)
+	coord := newCoordinator(reg)
+	srv := &http.Server{Addr: *addr, Handler: newMux(runner, coord, reg)}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -102,14 +127,16 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting requests, then let the background
-	// campaigns drain (they are CPU-bound and finite).
+	// Graceful shutdown: stop accepting requests, cancel in-flight campaign
+	// jobs through the suite context, then wait for the job goroutines to
+	// observe the cancellation and record their final states.
 	fmt.Fprintln(os.Stderr, "dcrmd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	jobsCancel()
 	runner.wait()
 	return nil
 }

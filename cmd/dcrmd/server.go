@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/datacentric-gpu/dcrm/internal/fleet"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
@@ -32,11 +33,13 @@ type healthReport struct {
 //	GET  /v1/experiments     all submitted jobs (without results)
 //	POST /v1/campaigns       submit a campaign: {"kind":"fig6","runs":100,...}
 //	GET  /v1/campaigns/{id}  one job, result included once done
-func newMux(r *runner, reg *telemetry.Registry) *http.ServeMux {
+//	/v1/fleet/*              the campaign fabric's control plane (coord.Register)
+func newMux(r *runner, coord *fleet.Coordinator, reg *telemetry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	coord.Register(mux)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, health(r))
+		writeJSON(w, http.StatusOK, health(r, coord))
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -87,7 +90,7 @@ func newMux(r *runner, reg *telemetry.Registry) *http.ServeMux {
 
 // health assembles the component report. The suite component reflects lazy
 // construction: "initializing" until the first campaign forces the build.
-func health(r *runner) healthReport {
+func health(r *runner, coord *fleet.Coordinator) healthReport {
 	rep := healthReport{Status: "healthy", Version: version.String()}
 
 	suiteHealth := componentHealth{Name: "suite", Health: "initializing",
@@ -111,6 +114,30 @@ func health(r *runner) healthReport {
 		Message: fmt.Sprintf("%d running, %d done, %d failed",
 			counts[stateRunning]+counts[statePending], counts[stateDone], counts[stateFailed])}
 	rep.Components = append(rep.Components, jobsHealth)
+
+	// The fleet component mirrors the worker registry: healthy while every
+	// registered worker heartbeats, degraded once some have gone silent
+	// (their shards are being stolen, not lost, so the daemon stays up).
+	workers := coord.Workers()
+	alive := 0
+	for _, w := range workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	running := 0
+	for _, j := range coord.Jobs() {
+		if j.State == fleet.JobRunning {
+			running++
+		}
+	}
+	fleetHealth := componentHealth{Name: "fleet", Health: "healthy",
+		Message: fmt.Sprintf("%d/%d workers alive, %d campaigns running",
+			alive, len(workers), running)}
+	if alive < len(workers) {
+		fleetHealth.Health = "degraded"
+	}
+	rep.Components = append(rep.Components, fleetHealth)
 	return rep
 }
 

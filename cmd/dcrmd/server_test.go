@@ -20,7 +20,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg, 64)
-	srv := httptest.NewServer(newMux(r, reg))
+	srv := httptest.NewServer(newMux(r, newCoordinator(reg), reg))
 	t.Cleanup(func() {
 		srv.Close()
 		r.wait()

@@ -62,6 +62,21 @@ func (s Scheme) String() string {
 	}
 }
 
+// ParseScheme parses a scheme name as accepted by the fleet protocol and
+// CLI flags: "none"/"baseline", "detection", or "correction" (the String
+// rendering "detection+correction" is accepted too).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "none", "baseline", "":
+		return None, nil
+	case "detection":
+		return Detection, nil
+	case "correction", "detection+correction":
+		return Correction, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (want none, detection, or correction)", s)
+}
+
 // Copies returns the number of data copies the scheme keeps.
 func (s Scheme) Copies() int {
 	switch s {

@@ -242,3 +242,14 @@ func (cp *Checkpoint) Campaign(c fault.Campaign, model fault.Model, sel fault.Se
 		return cp.RunOne(rng, model, sel)
 	})
 }
+
+// CampaignRange executes only the run indices in [start, end) of c — one
+// fleet shard — against the checkpoint. Each run derives its random
+// stream from (c.Seed, index) exactly like Campaign, so merging every
+// shard of a partition with fault.Result.Add reproduces the full
+// campaign's result byte for byte.
+func (cp *Checkpoint) CampaignRange(c fault.Campaign, start, end int, model fault.Model, sel fault.Selector) (fault.Result, error) {
+	return c.ExecuteRange(start, end, func(_ int, rng *rand.Rand) (fault.Outcome, error) {
+		return cp.RunOne(rng, model, sel)
+	})
+}

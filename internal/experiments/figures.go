@@ -272,6 +272,36 @@ func fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 	return out, nil
 }
 
+// spaceBlocks returns the named application's injection block space:
+// "hot" is the accessed blocks of the hot data objects, "rest" every
+// other accessed block (Fig. 5's division of the sorted profile). The
+// block order follows the profile, so selectors built from it are
+// deterministic.
+func (s *Suite) spaceBlocks(name, space string) ([]arch.BlockAddr, error) {
+	app, err := s.App(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	hotNames := make(map[string]bool, app.HotCount)
+	for _, o := range app.HotObjects() {
+		hotNames[o.Name] = true
+	}
+	var blocks []arch.BlockAddr
+	for _, b := range p.Blocks {
+		if hotNames[b.Object] == (space == "hot") {
+			blocks = append(blocks, b.Block)
+		}
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("experiments: %s has no %s blocks", name, space)
+	}
+	return blocks, nil
+}
+
 // fig6App runs one application's hot and rest campaigns across every fault
 // model.
 func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
@@ -279,24 +309,13 @@ func fig6App(s *Suite, cfg Fig6Config, name string) ([]Fig6Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	app := cp.App
-	p, err := s.Profile(name)
+	hotBlocks, err := s.spaceBlocks(name, "hot")
 	if err != nil {
 		return nil, err
 	}
-	// Hot = accessed blocks of the hot data objects; rest = every other
-	// accessed block (Fig. 5's division of the sorted profile).
-	hotNames := make(map[string]bool, app.HotCount)
-	for _, o := range app.HotObjects() {
-		hotNames[o.Name] = true
-	}
-	var hotBlocks, restBlocks []arch.BlockAddr
-	for _, b := range p.Blocks {
-		if hotNames[b.Object] {
-			hotBlocks = append(hotBlocks, b.Block)
-		} else {
-			restBlocks = append(restBlocks, b.Block)
-		}
+	restBlocks, err := s.spaceBlocks(name, "rest")
+	if err != nil {
+		return nil, err
 	}
 	spaces := []struct {
 		label  string

@@ -43,11 +43,13 @@ func (s *Suite) campaignWorkers() int {
 	return w
 }
 
-// campaign builds a fault.Campaign with the suite's nested worker bound and
-// telemetry registry, so every experiment's campaigns report live outcome
-// counters when the suite is observed.
+// campaign builds a fault.Campaign with the suite's nested worker bound,
+// telemetry registry, and cancellation context, so every experiment's
+// campaigns report live outcome counters when the suite is observed and
+// stop claiming runs once the suite's context is cancelled.
 func (s *Suite) campaign(runs int, seed int64) fault.Campaign {
-	return fault.Campaign{Runs: runs, Seed: seed, Workers: s.campaignWorkers(), Metrics: s.cfg.Telemetry}
+	return fault.Campaign{Runs: runs, Seed: seed, Workers: s.campaignWorkers(),
+		Metrics: s.cfg.Telemetry, Context: s.ctx}
 }
 
 // runTasks executes n independent task units on at most s.workers()
@@ -93,6 +95,13 @@ func (s *Suite) runTasks(phase string, n int, task func(i int) error) error {
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
+		// Cancellation (the daemon's graceful shutdown) aborts between task
+		// units: queued units are skipped and the fan-out returns ctx.Err().
+		if firstEr == nil {
+			if err := s.ctx.Err(); err != nil {
+				firstEr = err
+			}
+		}
 		if firstEr != nil || next >= n {
 			return 0, false
 		}

@@ -23,6 +23,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -92,6 +93,13 @@ type SuiteConfig struct {
 	// watched over cmd/dcrmd's /metrics endpoint. Observation only: results
 	// are bit-identical with or without a registry attached.
 	Telemetry *telemetry.Registry
+	// Context, when non-nil, cancels in-flight experiment work: task
+	// fan-outs stop claiming new units and campaigns stop claiming new
+	// runs once it is done, and the aborted call returns the context's
+	// error. Control only — it is excluded from store keys and never
+	// changes a completed result. Nil means work always runs to
+	// completion (the pre-daemon behaviour).
+	Context context.Context
 	// Store, when non-nil, is the content-addressed result store backing
 	// every suite artifact and figure result. A disk-backed store
 	// (store.Config.Dir / the CLIs' -store-dir flag) makes results survive
@@ -147,6 +155,9 @@ type Suite struct {
 	cfg SuiteConfig
 	net *nn.Network
 	st  *store.Store
+	// ctx cancels in-flight work (never nil; Background when the config
+	// leaves it unset).
+	ctx context.Context
 	// base is the canonical suite identity folded into every store key:
 	// everything a cached result depends on. Workers, Progress, and
 	// Telemetry are deliberately excluded — they are observation-only and
@@ -170,7 +181,11 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	}
 	base := fmt.Sprintf("%s|gpu=%+v|seed=%d|scale=%s|nn=%d",
 		version.String(), arch.Default(), cfg.Seed, cfg.Scale, cfg.NNTrainSamples)
-	return &Suite{cfg: cfg, net: net, st: st, base: base}, nil
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Suite{cfg: cfg, net: net, st: st, ctx: ctx, base: base}, nil
 }
 
 // key starts a store key in the given namespace with the suite identity

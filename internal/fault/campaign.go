@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,6 +82,10 @@ type Campaign struct {
 	// campaign can be watched over a /metrics endpoint. Observation only:
 	// attaching a registry does not change campaign results.
 	Metrics *telemetry.Registry
+	// Context, when non-nil, cancels the campaign between runs: once it is
+	// done no further runs start (in-flight runs finish) and Execute returns
+	// the context's error. Nil means the campaign always runs to completion.
+	Context context.Context
 }
 
 // Result aggregates campaign outcomes.
@@ -112,6 +117,20 @@ func (r Result) Count(o Outcome) int {
 	return 0
 }
 
+// Add accumulates another result into r — the coordinator-side merge of
+// shard-local outcome counts. Because every run's outcome is a pure
+// function of (seed, run index), merging the results of any disjoint
+// run-index ranges covering [0, Runs) reproduces the single-process
+// campaign result exactly.
+func (r *Result) Add(o Result) {
+	r.Runs += o.Runs
+	r.MaskedRuns += o.MaskedRuns
+	r.SDCRuns += o.SDCRuns
+	r.DetectedRuns += o.DetectedRuns
+	r.CrashedRuns += o.CrashedRuns
+	r.DUERuns += o.DUERuns
+}
+
 // SDCRate returns the fraction of runs that produced silent data
 // corruption.
 func (r Result) SDCRate() float64 {
@@ -134,31 +153,50 @@ func (r Result) ConfidenceHalfWidth() float64 {
 // Execute runs the campaign, fanning runs across workers. The first run
 // error aborts the campaign.
 func (c Campaign) Execute(run RunFunc) (Result, error) {
+	return c.ExecuteRange(0, c.Runs, run)
+}
+
+// ExecuteRange runs only the run indices in [start, end) — one shard of
+// the campaign. Each run's random stream is derived from (Seed, run index)
+// exactly as a full Execute derives it, so executing any partition of
+// [0, Runs) shard by shard and merging the results with Result.Add is
+// byte-identical to the single-process campaign. The returned Result
+// counts only the shard's runs.
+func (c Campaign) ExecuteRange(start, end int, run RunFunc) (Result, error) {
 	if c.Runs <= 0 {
 		return Result{}, fmt.Errorf("fault: campaign needs a positive run count, got %d", c.Runs)
+	}
+	if start < 0 || end > c.Runs || start >= end {
+		return Result{}, fmt.Errorf("fault: shard range [%d, %d) outside campaign of %d runs", start, end, c.Runs)
 	}
 	if run == nil {
 		return Result{}, fmt.Errorf("fault: nil run function")
 	}
+	n := end - start
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.Runs {
-		workers = c.Runs
+	if workers > n {
+		workers = n
 	}
 
 	var (
 		mu      sync.Mutex
-		res     = Result{Runs: c.Runs}
+		res     = Result{Runs: n}
 		firstEr error
-		next    int
+		next    = start
 		wg      sync.WaitGroup
 	)
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstEr != nil || next >= c.Runs {
+		if firstEr == nil && c.Context != nil {
+			if err := c.Context.Err(); err != nil {
+				firstEr = err
+			}
+		}
+		if firstEr != nil || next >= end {
 			return 0, false
 		}
 		i := next

@@ -1,0 +1,36 @@
+package fleet
+
+// DefaultShardRuns is the shard size used when a spec leaves ShardRuns 0:
+// small enough that a 1000-run paper campaign spreads across a handful of
+// workers with stealable slack, large enough that per-shard overhead
+// (checkpoint lookup, HTTP round trip, store publish) stays amortized.
+const DefaultShardRuns = 125
+
+// SplitShards cuts the spec's run range [0, Runs) into contiguous shards
+// of at most shardRuns runs (the last shard takes the remainder). The
+// split is purely a scheduling decision: run i's random stream depends
+// only on (Seed, i), so every split of the same spec merges to the same
+// result. shardRuns <= 0 selects DefaultShardRuns.
+func SplitShards(jobID string, spec CampaignSpec, shardRuns int) []Shard {
+	if spec.Runs <= 0 {
+		return nil
+	}
+	if shardRuns <= 0 {
+		shardRuns = DefaultShardRuns
+	}
+	shards := make([]Shard, 0, (spec.Runs+shardRuns-1)/shardRuns)
+	for start := 0; start < spec.Runs; start += shardRuns {
+		end := start + shardRuns
+		if end > spec.Runs {
+			end = spec.Runs
+		}
+		shards = append(shards, Shard{
+			JobID: jobID,
+			Index: len(shards),
+			Spec:  spec,
+			Start: start,
+			End:   end,
+		})
+	}
+	return shards
+}

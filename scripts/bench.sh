@@ -4,8 +4,10 @@
 # Runs the steady-state timing-replay benchmarks (BenchmarkRunKernel and
 # its Detection/Correction variants) into BENCH_timing.json (or $1), the
 # campaign fast-path benchmarks (BenchmarkCampaignFig6/9) into
-# BENCH_campaign.json (or $2), and the daemon serving benchmarks
-# (BenchmarkDcrmdHotServe cold/warm/dup) into BENCH_serve.json (or $3).
+# BENCH_campaign.json (or $2), the daemon serving benchmarks
+# (BenchmarkDcrmdHotServe cold/warm/dup) into BENCH_serve.json (or $3),
+# and the campaign-fabric scaling benchmarks (BenchmarkFleetCampaign at 1
+# and 3 workers) into BENCH_fleet.json (or $4).
 # The campaign file also carries the frozen pre-fork clone-path
 # measurements under the *PreFork names, so scripts/bench_compare.sh can
 # report the fast-path speedup against the code the fork + checkpoint path
@@ -13,7 +15,7 @@
 # the committed baselines (warn-only).
 #
 #   scripts/bench.sh                  # refresh all baselines (1s rounds)
-#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json
+#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json fleet.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH_timing.json}"
 CAMPAIGN_OUT="${2:-BENCH_campaign.json}"
 SERVE_OUT="${3:-BENCH_serve.json}"
+FLEET_OUT="${4:-BENCH_fleet.json}"
 
 # Frozen pre-fork baseline: the clone-per-run campaign path measured at
 # the commit that introduced copy-on-write forking (same benchmark
@@ -74,3 +77,14 @@ raw=$(go test ./cmd/dcrmd -run '^$' \
 echo "$raw" >&2
 render_json "$raw" "$BENCHTIME" > "$SERVE_OUT"
 echo "wrote $SERVE_OUT" >&2
+
+# Fleet scaling: each worker is pinned to one campaign goroutine, so the
+# workers=3/workers=1 wall-clock ratio reflects min(workers, cores) — it
+# approaches 3x on a multi-core host and 1x on a single-core one (the
+# compare script checks its own core count before warning on the ratio).
+raw=$(go test ./cmd/dcrmd -run '^$' \
+  -bench 'BenchmarkFleetCampaign' \
+  -benchmem -benchtime "$BENCHTIME")
+echo "$raw" >&2
+render_json "$raw" "$BENCHTIME" > "$FLEET_OUT"
+echo "wrote $FLEET_OUT" >&2

@@ -10,6 +10,19 @@ cd "$(dirname "$0")/.."
 BASE="${1:-BENCH_timing.json}"
 CUR="${2:?usage: bench_compare.sh baseline.json current.json}"
 
+# Fail up front with a clear message instead of letting awk/join die with
+# a cryptic one: a missing baseline usually means the file was never
+# committed (or a new BENCH_*.json section was added to bench.sh without
+# regenerating), a missing current file means the benchmark run failed.
+for f in "$BASE" "$CUR"; do
+  if [ ! -r "$f" ]; then
+    echo "ERROR: benchmark file '$f' is missing or unreadable." >&2
+    echo "  baseline files are committed as BENCH_*.json (regenerate with scripts/bench.sh);" >&2
+    echo "  the current file comes from the CI benchmark step that runs bench.sh." >&2
+    exit 1
+  fi
+done
+
 # The generator emits one benchmark object per line, so field extraction
 # needs no JSON tooling. Output: name ns_per_op allocs_per_op frozen.
 parse() {
@@ -48,6 +61,24 @@ while read -r name bns ballocs cns callocs; do
   fi
 done < <(join <(parse_live "$BASE" | sort) <(parse_live "$CUR" | sort))
 
+# Keys present on one side only never reach the join above; name them so a
+# renamed or dropped benchmark is visible instead of silently uncompared.
+comm -23 <(parse_live "$BASE" | awk '{print $1}' | sort) \
+         <(parse_live "$CUR"  | awk '{print $1}' | sort) |
+  while read -r name; do
+    echo "NOTE: baseline key $name missing from the current run (not compared)"
+  done
+comm -13 <(parse_live "$BASE" | awk '{print $1}' | sort) \
+         <(parse_live "$CUR"  | awk '{print $1}' | sort) |
+  while read -r name; do
+    echo "NOTE: current run key $name has no committed baseline (not compared)"
+  done
+
+if [ -z "$(parse "$BASE")" ]; then
+  echo "ERROR: no benchmark entries found in '$BASE' — wrong or truncated file?" >&2
+  exit 1
+fi
+
 # Fast-path speedup report: a frozen baseline entry named <X>PreFork
 # pins the ns/op of the code <X> replaced; compare the current <X> against
 # it and warn (only) if the promised >=3x advantage has eroded.
@@ -75,6 +106,26 @@ if [ -n "$cold" ] && [ -n "$warm" ]; then
   if awk -v r="$ratio" 'BEGIN { exit !(r < 10.0) }'; then
     echo "WARNING: warm serve speedup ${ratio}x below the 10x floor"
     status=warn
+  fi
+fi
+
+# Fleet scaling gate (warn-only): with workers pinned to one campaign
+# goroutine each, a 3-worker fleet should finish campaigns >=2x faster
+# than a 1-worker fleet — but only where the host actually has the cores;
+# on fewer than 3 cores the honest ratio is ~1x and warning would be noise.
+one=$(parse "$CUR" | awk '$1 == "BenchmarkFleetCampaign/workers=1" { print $2 }')
+three=$(parse "$CUR" | awk '$1 == "BenchmarkFleetCampaign/workers=3" { print $2 }')
+if [ -n "$one" ] && [ -n "$three" ]; then
+  ratio=$(awk -v o="$one" -v t="$three" 'BEGIN { printf "%.2f", o / t }')
+  cores=$(nproc 2>/dev/null || echo 1)
+  echo "fleet campaign: 1 worker ${one} ns/op, 3 workers ${three} ns/op (${ratio}x, ${cores} cores)"
+  if [ "$cores" -ge 3 ]; then
+    if awk -v r="$ratio" 'BEGIN { exit !(r < 2.0) }'; then
+      echo "WARNING: 3-worker fleet speedup ${ratio}x below the 2x floor"
+      status=warn
+    fi
+  else
+    echo "NOTE: fleet speedup not gated on ${cores}-core host (needs >=3 cores to show scaling)"
   fi
 fi
 
