@@ -20,13 +20,13 @@ import (
 // structs.
 var jobKinds = map[string]func(*experiments.Suite, jobParams) (any, error){
 	"fig6": func(s *experiments.Suite, p jobParams) (any, error) {
-		return experiments.Fig6HotVsRest(s, experiments.Fig6Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps})
+		return experiments.Fig6HotVsRest(s, experiments.Fig6Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps, Batch: p.Batch})
 	},
 	"fig7": func(s *experiments.Suite, p jobParams) (any, error) {
 		return experiments.Fig7Overhead(s, experiments.Fig7Config{Apps: p.Apps})
 	},
 	"fig9": func(s *experiments.Suite, p jobParams) (any, error) {
-		return experiments.Fig9Resilience(s, experiments.Fig9Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps})
+		return experiments.Fig9Resilience(s, experiments.Fig9Config{Runs: p.Runs, Seed: p.Seed, Apps: p.Apps, Batch: p.Batch})
 	},
 	"breakdown": func(s *experiments.Suite, p jobParams) (any, error) {
 		models, err := p.models()
@@ -34,10 +34,14 @@ var jobKinds = map[string]func(*experiments.Suite, jobParams) (any, error){
 			return nil, err
 		}
 		return experiments.FaultModelBreakdown(s, experiments.BreakdownConfig{
-			Runs: p.Runs, Seed: p.Seed, Apps: p.Apps, Models: models,
+			Runs: p.Runs, Seed: p.Seed, Apps: p.Apps, Models: models, Batch: p.Batch,
 		})
 	},
 }
+
+// campaignKinds marks the kinds that run fault-injection campaigns and
+// therefore accept the batch knob; fig7 is a pure timing sweep.
+var campaignKinds = map[string]bool{"fig6": true, "fig9": true, "breakdown": true}
 
 // jobParams are the per-campaign knobs accepted by POST /v1/campaigns.
 // Zero values fall back to each experiment's own defaults (the paper's
@@ -51,6 +55,12 @@ type jobParams struct {
 	// the breakdown kind consumes them today; other kinds reject them so a
 	// typo'd request fails loudly instead of silently running defaults.
 	Models []string `json:"models,omitempty"`
+	// Batch is the campaign batch size: runs classified per functional
+	// replay (0 = auto, 1 = unbatched). Purely a performance knob —
+	// results are byte-identical at any batch size — accepted only by the
+	// campaign kinds; negative values and non-campaign kinds are rejected
+	// at submission (HTTP 400).
+	Batch int `json:"batch,omitempty"`
 }
 
 // models parses the fault-model specs, empty meaning "experiment default".
@@ -158,6 +168,7 @@ func requestKey(kind string, params jobParams) string {
 		Field("runs", params.Runs).
 		Field("seed", params.Seed).
 		Field("models", params.Models).
+		Field("batch", params.Batch).
 		Key().Hash()
 }
 
@@ -194,6 +205,12 @@ func (r *runner) submit(kind string, params jobParams) (job, error) {
 		if _, err := params.models(); err != nil {
 			return job{}, err
 		}
+	}
+	if params.Batch < 0 {
+		return job{}, fmt.Errorf("campaign batch must be non-negative (0 = auto, 1 = unbatched), got %d", params.Batch)
+	}
+	if params.Batch != 0 && !campaignKinds[kind] {
+		return job{}, fmt.Errorf("campaign kind %q does not accept batch (only fig6, fig9, and breakdown do)", kind)
 	}
 	key := requestKey(kind, params)
 

@@ -1,0 +1,344 @@
+// Batched campaign execution: classify K fault runs per functional replay.
+//
+// Runs of one campaign share a Checkpoint — same app, scheme, level, and
+// fault model — and differ only in which words are corrupted. The batched
+// path exploits that: a claim of K pending runs is injected up front, runs
+// that never need execution (injection-time pre-classification, provably
+// inert faults) are peeled off exactly as RunOne would, and the survivors
+// become lanes of a group replay against one recorded reference execution
+// (Checkpoint.ensureCapture):
+//
+//   - A lane only *executes* the warps whose recorded load-block footprint
+//     intersects its divergent blocks; every other warp is reproduced by
+//     applying the recorded golden stores to the lane's fork (see
+//     internal/simt/replay.go for the soundness argument).
+//   - Executed warps still serve loads from the recording while their
+//     blocks are clean, falling back to real per-lane reads only where the
+//     lane's corruption can show through.
+//   - All surviving lanes are then classified in bit-parallel sweeps of up
+//     to 64 lanes sharing one golden-image divergence scan
+//     (fault.Classifier.ClassifyBatch over mem.BatchDiverges).
+//
+// When no capture is available — the recording exceeded the memory cap or
+// the reference run failed to record — the batch degrades to block-granular
+// amortization: each lane executes in full (the exact RunOne semantics),
+// but fork setup, checkpoint fetch, and the classification sweep remain
+// shared across the group.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+	"github.com/datacentric-gpu/dcrm/internal/mem"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// maxCaptureBytes bounds the per-checkpoint reference recording. Beyond it
+// the batched path falls back to block-granular batching rather than hold
+// an oversized capture alive for the checkpoint's lifetime.
+const maxCaptureBytes = 64 << 20
+
+// captureData is a checkpoint's memoized reference recording, with replica
+// blocks expanded into every load's footprint and the per-warp load-block
+// unions precomputed.
+type captureData struct {
+	log  *simt.CaptureLog
+	bufs []*mem.Buffer
+}
+
+// ensureCapture records the reference execution once per checkpoint and
+// returns nil when the batched replay cannot be used (recording failed or
+// exceeded maxCaptureBytes) — callers then fall back to full per-lane
+// execution.
+func (cp *Checkpoint) ensureCapture() *captureData {
+	cp.captureOnce.Do(func() {
+		f := cp.App.Mem.Fork()
+		var reader simt.WordReader
+		if cp.Plan != nil {
+			reader = cp.Plan.ForMemory(f)
+		}
+		log, err := cp.App.CaptureRun(f, reader)
+		if err != nil {
+			return
+		}
+		// Replica expansion: a load of a protected object invisibly reads
+		// the scheme's copies too. Folding the replica blocks into each
+		// record's footprint makes "all recorded blocks clean" prove the
+		// full read — copies included — resolves to golden data, so a fault
+		// in a replica block routes the warp to real execution where the
+		// detection/correction semantics fire exactly.
+		nblocks := cp.App.Mem.TotalBlocks()
+		seen := simt.NewBlockSet(nblocks)
+		for _, kc := range log.Kernels {
+			for _, wc := range kc.Warps {
+				seen.Reset()
+				union := wc.LoadBlocks[:0]
+				for i := range wc.Loads {
+					rec := &wc.Loads[i]
+					if cp.Plan != nil {
+						if copies := cp.Plan.Copies(0, rec.BufID); copies > 1 {
+							primary := rec.Blocks
+							for c := 1; c < copies; c++ {
+								for _, b := range primary[:len(primary):len(primary)] {
+									rec.Blocks = append(rec.Blocks, cp.Plan.ReplicaBlock(rec.BufID, b, c))
+								}
+							}
+						}
+					}
+					for _, b := range rec.Blocks {
+						if !seen.Has(b) {
+							seen.Add(b)
+							union = append(union, b)
+						}
+					}
+				}
+				wc.LoadBlocks = union
+			}
+		}
+		if log.ApproxBytes() > maxCaptureBytes {
+			return
+		}
+		cp.capture = &captureData{log: log, bufs: cp.App.Mem.Buffers()}
+	})
+	return cp.capture
+}
+
+// batchLane is one surviving run of a batched claim: its fork, its
+// divergent-block set, and its per-lane execution state.
+type batchLane struct {
+	idx   int // claim-relative run index
+	fork  *mem.Memory
+	drv   *simt.Driver
+	dirty *simt.BlockSet
+	// first is the lane's smallest initially-divergent block — the
+	// planner's intra-bucket sort key, grouping lanes whose faults land in
+	// the same block neighbourhood.
+	first arch.BlockAddr
+	err   error
+	// taint marks a lane whose executed instruction sequence desynced from
+	// the recording: its writes can no longer be bounded, so every
+	// remaining warp executes in full.
+	taint bool
+	// rp is the lane's reusable replay state, rebound per executed warp.
+	rp simt.LaneReplay
+}
+
+// RunBatch executes the batched claim [start, start+len(rngs)): inject all
+// runs, peel off pre-classified and inert ones, group-replay the survivors
+// against the reference recording, and classify them in bit-parallel
+// sweeps. Outcome i is byte-identical to what RunOne(rngs[i], ...) would
+// return: each rng is consumed only by its own run's injection, and the
+// replay reproduces the serial execution exactly (gated by the parity
+// tests). Safe for concurrent invocation.
+func (cp *Checkpoint) RunBatch(start int, rngs []*rand.Rand, model fault.Model, sel fault.Selector) ([]fault.Outcome, error) {
+	if err := cp.ensureGolden(); err != nil {
+		return nil, err
+	}
+	var env fault.Env
+	if fault.NeedsTimeline(model) {
+		tl, err := cp.Timeline()
+		if err != nil {
+			return nil, err
+		}
+		env.Timeline = tl
+	}
+
+	outs := make([]fault.Outcome, len(rngs))
+	lanes := make([]*batchLane, 0, len(rngs))
+	defer func() {
+		for _, ln := range lanes {
+			cp.forks.Put(ln.fork)
+		}
+	}()
+
+	nblocks := cp.App.Mem.TotalBlocks()
+	var scratch []arch.BlockAddr
+	for i, rng := range rngs {
+		f := cp.getFork()
+		inj, err := fault.Inject(f, rng, model, sel, &env)
+		if err != nil {
+			cp.forks.Put(f)
+			return nil, err
+		}
+		if inj.Pre != 0 {
+			if cp.tele.pre != nil {
+				cp.tele.pre.Inc()
+			}
+			outs[i] = inj.Pre
+			cp.forks.Put(f)
+			continue
+		}
+		// The inert prune only applies to overlay faults; a transient flip
+		// is a genuine store (DirtyBlocks > 0) that must execute even
+		// though the overlay is empty (FaultsInert is vacuously true then).
+		if f.DirtyBlocks() == 0 && f.FaultsInert() {
+			if cp.tele.pruned != nil {
+				cp.tele.pruned.Inc()
+			}
+			outs[i] = fault.Masked
+			cp.forks.Put(f)
+			continue
+		}
+		ln := &batchLane{idx: i, fork: f, dirty: simt.NewBlockSet(nblocks)}
+		scratch = f.DirtyBlockList(scratch[:0])
+		scratch = f.FaultBlockList(scratch)
+		ln.first = arch.BlockAddr(^uint64(0))
+		for _, b := range scratch {
+			ln.dirty.Add(b)
+			if b < ln.first {
+				ln.first = b
+			}
+		}
+		ln.drv = &simt.Driver{Mem: f, PermissiveOOB: true}
+		if cp.Plan != nil {
+			ln.drv.Reader = cp.Plan.ForMemory(f)
+		}
+		lanes = append(lanes, ln)
+	}
+	_ = start
+
+	if cp.tele.batches != nil {
+		cp.tele.batches.Inc()
+		cp.tele.occupancy.Observe(float64(len(lanes)))
+	}
+	if len(lanes) == 0 {
+		return outs, nil
+	}
+
+	// Intra-bucket planning: order lanes by their first divergent block so
+	// lanes corrupting the same block neighbourhood replay adjacently
+	// (claim order breaks ties to keep the plan deterministic). Outcomes
+	// are scattered back through idx, so the sort never affects results.
+	sort.Slice(lanes, func(a, b int) bool {
+		if lanes[a].first != lanes[b].first {
+			return lanes[a].first < lanes[b].first
+		}
+		return lanes[a].idx < lanes[b].idx
+	})
+
+	copiedBefore := make([]uint64, len(lanes))
+	for li, ln := range lanes {
+		copiedBefore[li] = ln.fork.CopiedBlocks()
+	}
+	if capd := cp.ensureCapture(); capd != nil {
+		cp.replayGroup(capd, lanes)
+	} else {
+		// Fallback: block-granular batching only — every lane executes in
+		// full, sharing fork setup and the classification sweep below.
+		if cp.tele.fallbackRuns != nil {
+			cp.tele.fallbackRuns.Add(uint64(len(lanes)))
+		}
+		for _, ln := range lanes {
+			if cp.Plan != nil {
+				ln.err = cp.App.RunOn(ln.fork, cp.Plan.ForMemory(ln.fork))
+			} else {
+				ln.err = cp.App.RunOn(ln.fork, nil)
+			}
+		}
+	}
+	if cp.tele.runs != nil {
+		cp.tele.runs.Add(uint64(len(lanes)))
+		cp.tele.batchRuns.Add(uint64(len(lanes)))
+		var copies uint64
+		for li, ln := range lanes {
+			copies += ln.fork.CopiedBlocks() - copiedBefore[li]
+		}
+		cp.tele.copies.Add(copies)
+	}
+
+	// Bit-parallel classification: ≤64 lanes per divergence sweep.
+	for g := 0; g < len(lanes); g += mem.BatchLanes {
+		grp := lanes[g:]
+		if len(grp) > mem.BatchLanes {
+			grp = grp[:mem.BatchLanes]
+		}
+		errs := make([]error, len(grp))
+		forks := make([]*mem.Memory, len(grp))
+		for j, ln := range grp {
+			errs[j] = ln.err
+			forks[j] = ln.fork
+		}
+		verdicts, err := cp.classifier.ClassifyBatch(errs, forks, cp.App.Output)
+		if err != nil {
+			return nil, err
+		}
+		for j, ln := range grp {
+			outs[ln.idx] = verdicts[j]
+		}
+	}
+	return outs, nil
+}
+
+// replayGroup runs every lane of the group through the recorded execution:
+// per recorded warp (in launch order, the serial execution order), each
+// live lane either executes the warp for real — because its divergent
+// blocks intersect the warp's load footprint, or because it is tainted —
+// or reproduces it by applying the recorded stores.
+func (cp *Checkpoint) replayGroup(capd *captureData, lanes []*batchLane) {
+	var replayed, applied uint64
+	for _, kc := range capd.log.Kernels {
+		for _, wc := range kc.Warps {
+			for _, ln := range lanes {
+				if ln.err != nil {
+					// The serial run aborted here; skip the lane's
+					// remaining warps exactly as Driver.Run would.
+					continue
+				}
+				if !ln.taint && !ln.dirty.AnyOf(wc.LoadBlocks) {
+					applyWarpStores(ln.fork, capd.bufs, wc)
+					applied++
+					continue
+				}
+				var rp *simt.LaneReplay
+				if !ln.taint {
+					rp = &ln.rp
+					rp.Reset(wc)
+					rp.Dirty = ln.dirty
+				}
+				if err := ln.drv.RunWarp(kc.Kernel, wc, rp); err != nil {
+					ln.err = fmt.Errorf("kernels: %s: %w", cp.App.Name, err)
+					continue
+				}
+				replayed++
+				if rp == nil {
+					continue
+				}
+				if rp.Desync {
+					ln.taint = true
+					continue
+				}
+				// The warp stayed in sync, so its write set is exactly the
+				// recorded stores it committed; their blocks may now hold
+				// divergent values.
+				for si := 0; si < rp.ConsumedStores(); si++ {
+					ln.dirty.AddAll(wc.Stores[si].Blocks)
+				}
+			}
+		}
+	}
+	if cp.tele.replayedWarps != nil {
+		cp.tele.replayedWarps.Add(replayed)
+		cp.tele.appliedWarps.Add(applied)
+	}
+}
+
+// applyWarpStores reproduces an untouched warp on a lane's fork by
+// committing its recorded stores in program order — word-exact, because an
+// untouched warp's loads all resolve to golden data, so its real execution
+// would compute exactly the recorded values and addresses.
+func applyWarpStores(f *mem.Memory, bufs []*mem.Buffer, wc *simt.WarpCapture) {
+	for i := range wc.Stores {
+		rec := &wc.Stores[i]
+		buf := bufs[rec.BufID]
+		for lane, idx := range rec.Idx {
+			if idx == simt.InactiveLane {
+				continue
+			}
+			f.WriteWord(buf.ElemAddr(int(idx)), rec.Vals[lane])
+		}
+	}
+}

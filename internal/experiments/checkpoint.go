@@ -51,6 +51,12 @@ type Checkpoint struct {
 	timeline     *fault.Timeline
 	timelineErr  error
 
+	// The reference recording for batched replay is lazy too: only batched
+	// campaigns pay for it (nil capture after the once = fall back to full
+	// per-lane execution).
+	captureOnce sync.Once
+	capture     *captureData
+
 	tele checkpointTelemetry
 }
 
@@ -62,6 +68,16 @@ type checkpointTelemetry struct {
 	pruned *telemetry.Counter
 	pre    *telemetry.Counter
 	runs   *telemetry.Counter
+
+	// Batched-path observability: claims executed, lanes per claim, runs
+	// classified through the batched path (replayed or fallback), warps
+	// actually executed vs. reproduced by store application.
+	batches       *telemetry.Counter
+	occupancy     *telemetry.Histogram
+	batchRuns     *telemetry.Counter
+	fallbackRuns  *telemetry.Counter
+	replayedWarps *telemetry.Counter
+	appliedWarps  *telemetry.Counter
 }
 
 // Checkpoint returns the memoized campaign checkpoint for the named
@@ -122,6 +138,19 @@ func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {
 				"Campaign runs classified at injection time (store-masked or ECC-preclassified faults), skipping execution."),
 			runs: reg.Counter("dcrm_campaign_fork_runs_total",
 				"Campaign runs executed on copy-on-write forks."),
+			batches: reg.Counter("dcrm_campaign_batches_total",
+				"Batched campaign claims executed (each claim replays up to Batch runs)."),
+			occupancy: reg.Histogram("dcrm_campaign_batch_occupancy",
+				"Lanes per batched claim that survived pruning into group replay.",
+				[]float64{0, 1, 2, 4, 8, 16, 32, 48, 64}),
+			batchRuns: reg.Counter("dcrm_campaign_batch_runs_total",
+				"Campaign runs classified through the batched path (group replay or fallback)."),
+			fallbackRuns: reg.Counter("dcrm_campaign_batch_fallback_runs_total",
+				"Batched-path runs that executed in full because no reference capture was available."),
+			replayedWarps: reg.Counter("dcrm_campaign_replayed_warps_total",
+				"Warps executed for real during batched group replay."),
+			appliedWarps: reg.Counter("dcrm_campaign_applied_warps_total",
+				"Warps reproduced by applying recorded golden stores instead of executing."),
 		}
 	}
 	return cp
@@ -236,19 +265,25 @@ func (cp *Checkpoint) RunOne(rng *rand.Rand, model fault.Model, sel fault.Select
 }
 
 // Campaign executes c against the checkpoint under the given fault model
-// and block selector.
+// and block selector. A batch size above 1 (the default — see
+// fault.Campaign.Batch) routes through the batched group-replay path;
+// outcomes are byte-identical either way.
 func (cp *Checkpoint) Campaign(c fault.Campaign, model fault.Model, sel fault.Selector) (fault.Result, error) {
-	return c.Execute(func(_ int, rng *rand.Rand) (fault.Outcome, error) {
-		return cp.RunOne(rng, model, sel)
-	})
+	return cp.CampaignRange(c, 0, c.Runs, model, sel)
 }
 
 // CampaignRange executes only the run indices in [start, end) of c — one
-// fleet shard — against the checkpoint. Each run derives its random
-// stream from (c.Seed, index) exactly like Campaign, so merging every
-// shard of a partition with fault.Result.Add reproduces the full
-// campaign's result byte for byte.
+// fleet shard — against the checkpoint, batching claims internally like
+// Campaign. Each run derives its random stream from (c.Seed, index)
+// exactly like Campaign, so merging every shard of a partition with
+// fault.Result.Add reproduces the full campaign's result byte for byte,
+// regardless of each shard's batch size.
 func (cp *Checkpoint) CampaignRange(c fault.Campaign, start, end int, model fault.Model, sel fault.Selector) (fault.Result, error) {
+	if c.BatchSize() > 1 {
+		return c.ExecuteRangeBatched(start, end, func(lo int, rngs []*rand.Rand) ([]fault.Outcome, error) {
+			return cp.RunBatch(lo, rngs, model, sel)
+		})
+	}
 	return c.ExecuteRange(start, end, func(_ int, rng *rand.Rand) (fault.Outcome, error) {
 		return cp.RunOne(rng, model, sel)
 	})

@@ -11,9 +11,10 @@ import (
 
 // TestCampaignForkParity is the fast-path equivalence contract: for every
 // application and scheme, a campaign over the fork + checkpoint path must
-// produce bit-identical Results to the legacy clone-per-run path, at one
-// worker and at sixteen. This also serves as the serial-vs-parallel
-// campaign determinism gate (run under -race in CI).
+// produce bit-identical Results to the legacy clone-per-run path — at one
+// worker and at sixteen, unbatched (Batch 1), partially batched (8), and
+// at the full bit-parallel width (64). This also serves as the
+// serial-vs-parallel campaign determinism gate (run under -race in CI).
 func TestCampaignForkParity(t *testing.T) {
 	s := testSuite(t)
 	const (
@@ -69,13 +70,15 @@ func TestCampaignForkParity(t *testing.T) {
 			}
 
 			for _, workers := range []int{1, 16} {
-				got, err := cp.Campaign(fault.Campaign{Runs: runs, Seed: seed, Workers: workers}, model, sel)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got != legacy {
-					t.Errorf("%s %v L%d workers=%d: fork path %+v != legacy clone path %+v",
-						name, scheme, level, workers, got, legacy)
+				for _, batch := range []int{1, 8, 64} {
+					got, err := cp.Campaign(fault.Campaign{Runs: runs, Seed: seed, Workers: workers, Batch: batch}, model, sel)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != legacy {
+						t.Errorf("%s %v L%d workers=%d batch=%d: fork path %+v != legacy clone path %+v",
+							name, scheme, level, workers, batch, got, legacy)
+					}
 				}
 			}
 		}

@@ -78,7 +78,8 @@ func Fig6HotVsRest(s *Suite, cfg Fig6Config) ([]Fig6Cell, error) {
 			Field("runs", cfg.Runs).
 			Field("seed", cfg.Seed).
 			Field("models", fault.ModelsKey(cfg.Models)).
-			Field("apps", cfg.Apps),
+			Field("apps", cfg.Apps).
+			Field("batch", s.batchFor(cfg.Batch)),
 		func() ([]Fig6Cell, error) { return fig6HotVsRest(s, cfg) })
 }
 
@@ -111,7 +112,8 @@ func Fig9Resilience(s *Suite, cfg Fig9Config) ([]Fig9Cell, error) {
 			Field("seed", cfg.Seed).
 			Field("models", fault.ModelsKey(cfg.Models)).
 			Field("apps", cfg.Apps).
-			Field("schemes", cfg.Schemes),
+			Field("schemes", cfg.Schemes).
+			Field("batch", s.batchFor(cfg.Batch)),
 		func() ([]Fig9Cell, error) { return fig9Resilience(s, cfg) })
 }
 

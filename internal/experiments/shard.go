@@ -31,6 +31,9 @@ func ValidateSpec(spec fleet.CampaignSpec) error {
 	if _, err := kernels.ByName(spec.App); err != nil {
 		return err
 	}
+	if spec.Batch < 0 {
+		return fmt.Errorf("experiments: campaign batch must be non-negative (0 = auto, 1 = unbatched), got %d", spec.Batch)
+	}
 	return nil
 }
 
@@ -78,6 +81,7 @@ func RunShard(ctx context.Context, s *Suite, shard fleet.Shard) (fleet.Counts, s
 		Field("model", fault.ModelKey(model)).
 		Field("runs", spec.Runs).
 		Field("campaignSeed", spec.Seed).
+		Field("batch", s.batchFor(spec.Batch)).
 		Field("range", fmt.Sprintf("%d-%d", shard.Start, shard.End)).
 		Key()
 	counts, err := store.Do(s.st, key, store.Options[fleet.Counts]{Persist: true},
@@ -90,13 +94,8 @@ func RunShard(ctx context.Context, s *Suite, shard fleet.Shard) (fleet.Counts, s
 			if err != nil {
 				return fleet.Counts{}, err
 			}
-			c := fault.Campaign{
-				Runs:    spec.Runs,
-				Seed:    spec.Seed,
-				Workers: s.campaignWorkers(),
-				Metrics: s.cfg.Telemetry,
-				Context: ctx,
-			}
+			c := s.campaign(spec.Runs, spec.Seed, spec.Batch)
+			c.Context = ctx
 			res, err := cp.CampaignRange(c, shard.Start, shard.End, model, sel)
 			if err != nil {
 				return fleet.Counts{}, fmt.Errorf("experiments: shard %s [%d, %d): %w",

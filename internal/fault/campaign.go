@@ -67,6 +67,19 @@ func Outcomes() []Outcome {
 // concurrent invocation.
 type RunFunc func(runIdx int, rng *rand.Rand) (Outcome, error)
 
+// BatchRunFunc executes a contiguous claim of runs [start, start+len(rngs))
+// in one call, returning exactly one Outcome per run in index order.
+// rngs[i] is the same (Seed, start+i)-derived stream RunFunc would receive
+// for the run, so a batched executor that consumes each rng only for its
+// own run's injection reproduces the per-run path bit-for-bit. It must be
+// safe for concurrent invocation.
+type BatchRunFunc func(start int, rngs []*rand.Rand) ([]Outcome, error)
+
+// DefaultBatch is the auto batch size: one bit-parallel classification
+// sweep resolves up to 64 lanes (mem.BatchLanes), so claims default to
+// that width.
+const DefaultBatch = 64
+
 // Campaign executes many independent fault-injection runs.
 type Campaign struct {
 	// Runs is the experiment count (the paper uses 1000 for 95% confidence
@@ -77,15 +90,41 @@ type Campaign struct {
 	Seed int64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Batch sets how many runs a batched executor claims and replays per
+	// functional pass: 0 picks DefaultBatch, 1 disables batching, larger
+	// values bound the claim size. Outcomes are independent of Batch (the
+	// per-run rng derivation never changes); it is purely a performance
+	// control, but it is folded into result-store keys so differently
+	// batched artifacts never alias.
+	Batch int
 	// Metrics, when non-nil, receives live outcome counters
-	// (dcrm_fault_runs_total{outcome=...}) as runs complete, so a long
-	// campaign can be watched over a /metrics endpoint. Observation only:
-	// attaching a registry does not change campaign results.
+	// (dcrm_fault_runs_total{outcome=...}) and the run-granular
+	// dcrm_campaign_runs_total as runs complete, so a long campaign can be
+	// watched over a /metrics endpoint. Both count runs, never batches.
+	// Observation only: attaching a registry does not change campaign
+	// results.
 	Metrics *telemetry.Registry
+	// Progress, when non-nil, is called as runs complete with the
+	// cumulative completed count and the executed range's total. It fires
+	// once per run — a batched claim of K runs reports K increments, not
+	// one — so ETA math stays accurate on the batched path. Calls are
+	// serialized under the campaign's lock.
+	Progress func(done, total int)
 	// Context, when non-nil, cancels the campaign between runs: once it is
 	// done no further runs start (in-flight runs finish) and Execute returns
 	// the context's error. Nil means the campaign always runs to completion.
 	Context context.Context
+}
+
+// BatchSize resolves the configured Batch (0 = DefaultBatch, minimum 1).
+func (c Campaign) BatchSize() int {
+	if c.Batch == 0 {
+		return DefaultBatch
+	}
+	if c.Batch < 1 {
+		return 1
+	}
+	return c.Batch
 }
 
 // Result aggregates campaign outcomes.
@@ -156,6 +195,12 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 	return c.ExecuteRange(0, c.Runs, run)
 }
 
+// runRNG derives run i's random stream deterministically from (Seed, i).
+func (c Campaign) runRNG(i int) *rand.Rand {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier
+	return rand.New(rand.NewSource(c.Seed ^ (int64(i)+1)*mix))
+}
+
 // ExecuteRange runs only the run indices in [start, end) — one shard of
 // the campaign. Each run's random stream is derived from (Seed, run index)
 // exactly as a full Execute derives it, so executing any partition of
@@ -163,22 +208,52 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 // byte-identical to the single-process campaign. The returned Result
 // counts only the shard's runs.
 func (c Campaign) ExecuteRange(start, end int, run RunFunc) (Result, error) {
+	if run == nil {
+		return Result{}, fmt.Errorf("fault: nil run function")
+	}
+	return c.executeRange(start, end, 1, func(lo int, rngs []*rand.Rand) ([]Outcome, error) {
+		o, err := run(lo, rngs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Outcome{o}, nil
+	})
+}
+
+// ExecuteBatched runs the whole campaign through a batched executor.
+func (c Campaign) ExecuteBatched(run BatchRunFunc) (Result, error) {
+	return c.ExecuteRangeBatched(0, c.Runs, run)
+}
+
+// ExecuteRangeBatched is ExecuteRange for a batched executor: workers claim
+// contiguous chunks of up to BatchSize() runs and hand each chunk to run in
+// one call. Chunk boundaries depend only on (start, end, BatchSize), never
+// on worker scheduling, and every run keeps its (Seed, index)-derived rng,
+// so results remain byte-identical across batch sizes and worker counts —
+// and mergeable with differently executed shards via Result.Add.
+func (c Campaign) ExecuteRangeBatched(start, end int, run BatchRunFunc) (Result, error) {
+	if run == nil {
+		return Result{}, fmt.Errorf("fault: nil batch run function")
+	}
+	return c.executeRange(start, end, c.BatchSize(), run)
+}
+
+// executeRange is the shared chunk-claiming executor behind ExecuteRange
+// (batch 1) and ExecuteRangeBatched.
+func (c Campaign) executeRange(start, end, batch int, run BatchRunFunc) (Result, error) {
 	if c.Runs <= 0 {
 		return Result{}, fmt.Errorf("fault: campaign needs a positive run count, got %d", c.Runs)
 	}
 	if start < 0 || end > c.Runs || start >= end {
 		return Result{}, fmt.Errorf("fault: shard range [%d, %d) outside campaign of %d runs", start, end, c.Runs)
 	}
-	if run == nil {
-		return Result{}, fmt.Errorf("fault: nil run function")
-	}
 	n := end - start
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if maxClaims := (n + batch - 1) / batch; workers > maxClaims {
+		workers = maxClaims
 	}
 
 	var (
@@ -186,9 +261,10 @@ func (c Campaign) ExecuteRange(start, end int, run RunFunc) (Result, error) {
 		res     = Result{Runs: n}
 		firstEr error
 		next    = start
+		done    int
 		wg      sync.WaitGroup
 	)
-	claim := func() (int, bool) {
+	claim := func() (int, int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		if firstEr == nil && c.Context != nil {
@@ -197,20 +273,35 @@ func (c Campaign) ExecuteRange(start, end int, run RunFunc) (Result, error) {
 			}
 		}
 		if firstEr != nil || next >= end {
-			return 0, false
+			return 0, 0, false
 		}
-		i := next
-		next++
-		return i, true
+		lo := next
+		hi := lo + batch
+		if hi > end {
+			hi = end
+		}
+		next = hi
+		return lo, hi, true
 	}
 	var outcomes *telemetry.CounterVec
+	var runsTotal *telemetry.Counter
 	if c.Metrics != nil {
 		outcomes = c.Metrics.CounterVec("dcrm_fault_runs_total",
 			"Fault-injection runs completed, by outcome.", "outcome")
+		runsTotal = c.Metrics.Counter("dcrm_campaign_runs_total",
+			"Campaign runs completed — counted per run on both the batched and unbatched paths.")
 	}
+	// record tallies one completed run (or the error that aborted a claim).
+	// Progress and the run counters advance run-by-run even when the claim
+	// executed as one batch.
 	record := func(o Outcome, err error) {
-		if outcomes != nil && err == nil && o >= Masked && o <= DUE {
-			outcomes.With(o.String()).Inc()
+		if err == nil && o >= Masked && o <= DUE {
+			if outcomes != nil {
+				outcomes.With(o.String()).Inc()
+			}
+			if runsTotal != nil {
+				runsTotal.Inc()
+			}
 		}
 		mu.Lock()
 		defer mu.Unlock()
@@ -235,23 +326,40 @@ func (c Campaign) ExecuteRange(start, end int, run RunFunc) (Result, error) {
 			if firstEr == nil {
 				firstEr = fmt.Errorf("fault: run returned invalid outcome %d", int(o))
 			}
+			return
+		}
+		done++
+		if c.Progress != nil {
+			c.Progress(done, n)
 		}
 	}
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			rngs := make([]*rand.Rand, 0, batch)
 			for {
-				i, ok := claim()
+				lo, hi, ok := claim()
 				if !ok {
+					wg.Done()
 					return
 				}
-				// Derive the per-run rng deterministically from (seed, i).
-				const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier
-				rng := rand.New(rand.NewSource(c.Seed ^ (int64(i)+1)*mix))
-				o, err := run(i, rng)
-				record(o, err)
+				rngs = rngs[:0]
+				for i := lo; i < hi; i++ {
+					rngs = append(rngs, c.runRNG(i))
+				}
+				os, err := run(lo, rngs)
+				if err == nil && len(os) != hi-lo {
+					err = fmt.Errorf("fault: batch run [%d, %d) returned %d outcomes, want %d",
+						lo, hi, len(os), hi-lo)
+				}
+				if err != nil {
+					record(0, err)
+					continue
+				}
+				for _, o := range os {
+					record(o, nil)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProgressCountsRunsNotBatches: the Progress callback must advance
+// run by run even when the executor claims whole batches, so ETA math
+// built on it stays accurate on the batched path.
+func TestProgressCountsRunsNotBatches(t *testing.T) {
+	const runs = 20
+	var calls []int
+	c := Campaign{
+		Runs:    runs,
+		Seed:    7,
+		Workers: 1,
+		Batch:   8,
+		Progress: func(done, total int) {
+			if total != runs {
+				t.Errorf("Progress total = %d, want %d", total, runs)
+			}
+			calls = append(calls, done)
+		},
+	}
+	res, err := c.ExecuteBatched(func(start int, rngs []*rand.Rand) ([]Outcome, error) {
+		outs := make([]Outcome, len(rngs))
+		for i := range outs {
+			outs[i] = Masked
+		}
+		return outs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaskedRuns != runs {
+		t.Fatalf("masked = %d, want %d", res.MaskedRuns, runs)
+	}
+	if len(calls) != runs {
+		t.Fatalf("Progress fired %d times, want once per run (%d)", len(calls), runs)
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("Progress call %d reported done=%d, want %d", i, done, i+1)
+		}
+	}
+}
+
+// TestBatchSizeResolution pins the Batch knob's resolution: 0 is the
+// bit-parallel default, negatives clamp to unbatched.
+func TestBatchSizeResolution(t *testing.T) {
+	for _, tc := range []struct{ batch, want int }{
+		{0, DefaultBatch},
+		{1, 1},
+		{-3, 1},
+		{8, 8},
+		{200, 200},
+	} {
+		if got := (Campaign{Batch: tc.batch}).BatchSize(); got != tc.want {
+			t.Errorf("BatchSize(%d) = %d, want %d", tc.batch, got, tc.want)
+		}
+	}
+}
+
+// TestBatchedChunkBoundaries: claims are contiguous [lo, hi) chunks of at
+// most BatchSize runs whose boundaries depend only on the range, never on
+// scheduling — the property that keeps batched shards mergeable.
+func TestBatchedChunkBoundaries(t *testing.T) {
+	const runs = 23
+	seen := make(map[int]int) // run index -> claims covering it
+	var starts []int
+	c := Campaign{Runs: runs, Seed: 1, Workers: 1, Batch: 5}
+	if _, err := c.ExecuteBatched(func(start int, rngs []*rand.Rand) ([]Outcome, error) {
+		if len(rngs) > 5 {
+			t.Errorf("claim [%d, %d) exceeds batch size 5", start, start+len(rngs))
+		}
+		starts = append(starts, start)
+		outs := make([]Outcome, len(rngs))
+		for i := range outs {
+			seen[start+i]++
+			outs[i] = Masked
+		}
+		return outs, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < runs; i++ {
+		if seen[i] != 1 {
+			t.Errorf("run %d covered by %d claims, want exactly 1", i, seen[i])
+		}
+	}
+	want := []int{0, 5, 10, 15, 20}
+	if len(starts) != len(want) {
+		t.Fatalf("claim starts = %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("claim starts = %v, want %v", starts, want)
+		}
+	}
+}

@@ -71,3 +71,59 @@ func (c *Classifier) Classify(runErr error, m *mem.Memory, output func(*mem.Memo
 	}
 	return Masked, nil
 }
+
+// ClassifyBatch resolves up to mem.BatchLanes runs in one sweep: lane i is
+// classified exactly as Classify(runErrs[i], forks[i], output) would, but
+// the error-free lanes share a single bit-parallel divergence scan against
+// the golden image (mem.BatchDiverges) instead of one streaming comparison
+// each. Only lanes the scan marks divergent pay for output extraction and
+// the quality metric.
+func (c *Classifier) ClassifyBatch(runErrs []error, forks []*mem.Memory, output func(*mem.Memory) []float32) ([]Outcome, error) {
+	if len(runErrs) != len(forks) {
+		return nil, fmt.Errorf("fault: batch classify got %d errors for %d forks", len(runErrs), len(forks))
+	}
+	outs := make([]Outcome, len(forks))
+	clean := make([]*mem.Memory, len(forks))
+	anyClean := false
+	for i, runErr := range runErrs {
+		if runErr != nil {
+			switch {
+			case errors.Is(runErr, ErrUncorrectable):
+				outs[i] = DUE
+			case c.DetectErr != nil && errors.Is(runErr, c.DetectErr):
+				outs[i] = Detected
+			default:
+				outs[i] = Crashed
+			}
+			continue
+		}
+		clean[i] = forks[i]
+		anyClean = true
+	}
+	if !anyClean {
+		return outs, nil
+	}
+	if c.GoldenPost == nil {
+		return nil, fmt.Errorf("fault: classifier has no golden post-run image")
+	}
+	diverged := mem.BatchDiverges(c.GoldenPost, clean)
+	for i, m := range clean {
+		if m == nil {
+			continue
+		}
+		if diverged&(1<<uint(i)) == 0 {
+			outs[i] = Masked
+			continue
+		}
+		sdc, err := c.Metric.IsSDC(output(m), c.Golden)
+		if err != nil {
+			return nil, err
+		}
+		if sdc {
+			outs[i] = SDC
+		} else {
+			outs[i] = Masked
+		}
+	}
+	return outs, nil
+}

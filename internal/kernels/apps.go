@@ -65,6 +65,22 @@ func (a *App) RunOn(m *mem.Memory, reader simt.WordReader) error {
 	return nil
 }
 
+// CaptureRun executes every kernel against m exactly as RunOn would
+// (reading through reader when non-nil) while recording each warp's loads
+// and stores into the returned log — the reference recording batched
+// campaigns replay faulty runs against. m is mutated like any run target;
+// callers normally pass a throwaway fork.
+func (a *App) CaptureRun(m *mem.Memory, reader simt.WordReader) (*simt.CaptureLog, error) {
+	log := &simt.CaptureLog{}
+	d := &simt.Driver{Mem: m, Reader: reader, PermissiveOOB: true, Capture: log}
+	for _, k := range a.Kernels {
+		if _, err := d.Run(k); err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", a.Name, err)
+		}
+	}
+	return log, nil
+}
+
 // GoldenRun executes the app on a pristine copy-on-write fork of its image
 // and returns the fault-free baseline output.
 func (a *App) GoldenRun() ([]float32, error) {

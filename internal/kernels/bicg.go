@@ -101,22 +101,28 @@ func NewBICG(cfg BICGConfig) (*App, error) {
 		Block:      arch.Dim3{X: polyThreadsPerCTA},
 		Run: func(w *simt.WarpCtx) {
 			idx := w.ScratchI32(0)
+			col := w.ScratchI32(1)
 			dst := w.ScratchF32(0)
 			acc := w.ScratchF32(1)
+			// The lane→column map is loop-invariant; build it once.
 			any := false
 			for lane := 0; lane < w.NumLanes; lane++ {
 				acc[lane] = 0
-				if w.LinearThreadID(lane) < ny {
+				if j := w.LinearThreadID(lane); j < ny {
+					col[lane] = int32(j)
 					any = true
+				} else {
+					col[lane] = simt.InactiveLane
 				}
 			}
 			if !any {
 				return
 			}
 			for i := 0; i < nx; i++ {
+				row := int32(i * ny)
 				for lane := 0; lane < w.NumLanes; lane++ {
-					if j := w.LinearThreadID(lane); j < ny {
-						idx[lane] = int32(i*ny + j)
+					if c := col[lane]; c != simt.InactiveLane {
+						idx[lane] = row + c
 					} else {
 						idx[lane] = simt.InactiveLane
 					}
@@ -128,14 +134,7 @@ func NewBICG(cfg BICGConfig) (*App, error) {
 				}
 				w.Compute(1)
 			}
-			for lane := 0; lane < w.NumLanes; lane++ {
-				if j := w.LinearThreadID(lane); j < ny {
-					idx[lane] = int32(j)
-				} else {
-					idx[lane] = simt.InactiveLane
-				}
-			}
-			w.StoreF32(stS, bufS, idx, acc)
+			w.StoreF32(stS, bufS, col, acc)
 		},
 	}
 
@@ -147,28 +146,34 @@ func NewBICG(cfg BICGConfig) (*App, error) {
 		Block:      arch.Dim3{X: polyThreadsPerCTA},
 		Run: func(w *simt.WarpCtx) {
 			idx := w.ScratchI32(0)
+			rowBase := w.ScratchI32(1)
 			dst := w.ScratchF32(0)
 			acc := w.ScratchF32(1)
+			// The lane→row map is loop-invariant; build the i·NY bases once.
 			any := false
 			for lane := 0; lane < w.NumLanes; lane++ {
 				acc[lane] = 0
-				if w.LinearThreadID(lane) < nx {
+				if i := w.LinearThreadID(lane); i < nx {
+					rowBase[lane] = int32(i * ny)
 					any = true
+				} else {
+					rowBase[lane] = simt.InactiveLane
 				}
 			}
 			if !any {
 				return
 			}
 			for j := 0; j < ny; j++ {
+				jj := int32(j)
 				for lane := 0; lane < w.NumLanes; lane++ {
-					if i := w.LinearThreadID(lane); i < nx {
-						idx[lane] = int32(i*ny + j)
+					if r := rowBase[lane]; r != simt.InactiveLane {
+						idx[lane] = r + jj
 					} else {
 						idx[lane] = simt.InactiveLane
 					}
 				}
 				w.LoadF32(ldA2, bufA, idx, dst)
-				pv := w.LoadF32Broadcast(ldP, bufP, int32(j))
+				pv := w.LoadF32Broadcast(ldP, bufP, jj)
 				for lane := 0; lane < w.NumLanes; lane++ {
 					acc[lane] += dst[lane] * pv
 				}

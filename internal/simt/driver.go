@@ -29,9 +29,13 @@ type Driver struct {
 	// never go out of bounds, so the mode does not change fault-free
 	// results. Stores remain strict.
 	PermissiveOOB bool
+	// Capture, when non-nil, records every warp's loads and stores into the
+	// log (one KernelCapture appended per Run) for batched campaign replay.
+	Capture *CaptureLog
 
-	reader WordReader
-	grid   arch.Dim3
+	reader  WordReader
+	grid    arch.Dim3
+	warpCtx *WarpCtx
 }
 
 // Run executes the kernel to completion, returning the captured trace when
@@ -62,8 +66,17 @@ func (d *Driver) Run(k *Kernel) (*KernelTrace, error) {
 			Warps:       make([][]Instr, k.Grid.Count()*warpsPerCTA),
 		}
 	}
+	var kcap *KernelCapture
+	if d.Capture != nil {
+		kcap = &KernelCapture{
+			Kernel: k,
+			Warps:  make([]*WarpCapture, k.Grid.Count()*warpsPerCTA),
+		}
+		d.Capture.Kernels = append(d.Capture.Kernels, kcap)
+	}
 
 	ctx := &WarpCtx{blockDim: k.Block, drv: d, tracing: d.Tracing}
+	ctx.emitActive = d.Observer != nil || d.Tracing
 	for cz := 0; cz < max(1, k.Grid.Z); cz++ {
 		for cy := 0; cy < max(1, k.Grid.Y); cy++ {
 			for cx := 0; cx < max(1, k.Grid.X); cx++ {
@@ -78,7 +91,16 @@ func (d *Driver) Run(k *Kernel) (*KernelTrace, error) {
 					ctx.WarpInCTA = wi
 					ctx.GlobalWarpID = ctaLinear*warpsPerCTA + wi
 					ctx.NumLanes = lanes
+					ctx.linearBase = ctaLinear*threadsPerCTA + wi*arch.WarpSize
 					ctx.trace = nil
+					if kcap != nil {
+						ctx.capture = &WarpCapture{
+							CTAIdx:       ctaIdx,
+							WarpInCTA:    wi,
+							GlobalWarpID: ctx.GlobalWarpID,
+							NumLanes:     lanes,
+						}
+					}
 					k.Run(ctx)
 					if ctx.err != nil {
 						return nil, fmt.Errorf("simt: kernel %q warp %d: %w",
@@ -87,11 +109,53 @@ func (d *Driver) Run(k *Kernel) (*KernelTrace, error) {
 					if trace != nil {
 						trace.Warps[ctx.GlobalWarpID] = ctx.trace
 					}
+					if kcap != nil {
+						kcap.Warps[ctx.GlobalWarpID] = ctx.capture
+						ctx.capture = nil
+					}
 				}
 			}
 		}
 	}
 	return trace, nil
+}
+
+// RunWarp executes one recorded warp of k against the driver's memory. rp,
+// when non-nil, serves loads from the recording while the lane's divergent
+// blocks stay clear of them (the batched-campaign fast path); nil executes
+// the warp plainly. Errors carry the same wrapping Run would give the same
+// warp. The driver's warp context is reused across calls, mirroring how Run
+// reuses one context for a whole launch.
+func (d *Driver) RunWarp(k *Kernel, wc *WarpCapture, rp *LaneReplay) error {
+	d.reader = d.Reader
+	if d.reader == nil {
+		d.reader = directReader{d.Mem}
+	}
+	d.grid = k.Grid
+	ctx := d.warpCtx
+	if ctx == nil {
+		ctx = &WarpCtx{}
+		d.warpCtx = ctx
+	}
+	ctx.blockDim = k.Block
+	ctx.drv = d
+	ctx.tracing = false
+	ctx.trace = nil
+	ctx.err = nil
+	ctx.capture = nil
+	ctx.emitActive = d.Observer != nil
+	ctx.CTAIdx = wc.CTAIdx
+	ctx.WarpInCTA = wc.WarpInCTA
+	ctx.GlobalWarpID = wc.GlobalWarpID
+	ctx.NumLanes = wc.NumLanes
+	ctx.linearBase = k.Grid.Flatten(wc.CTAIdx)*k.Block.Count() + wc.WarpInCTA*arch.WarpSize
+	ctx.replay = rp
+	k.Run(ctx)
+	ctx.replay = nil
+	if ctx.err != nil {
+		return fmt.Errorf("simt: kernel %q warp %d: %w", k.KernelName, wc.GlobalWarpID, ctx.err)
+	}
+	return nil
 }
 
 func max(a, b int) int {

@@ -1,0 +1,338 @@
+// Capture and replay of a reference (fault-free) execution. A CaptureLog
+// records, warp by warp, every load the application issues (site, indices,
+// loaded values, coalesced blocks) and every store it commits. Campaign
+// batching builds on two properties of the lockstep execution model:
+//
+//   - Warps run strictly in launch order, so the recorded per-warp load
+//     and store sequences fully determine a fault-free run.
+//   - A warp whose loads touch no block that differs from the golden image
+//     behaves bit-identically to the recording — its loads return the
+//     recorded values and its stores commit the recorded values — so a
+//     faulty run only needs to *execute* the warps whose load-block set
+//     intersects its divergent blocks; every other warp is reproduced by
+//     applying the recorded stores.
+//
+// LaneReplay carries that argument into the executed warps themselves:
+// while the warp's load/store sequence still matches the recording
+// position-for-position (same sites, same indices), loads whose blocks are
+// all clean are served straight from the recorded values, skipping the
+// per-lane address/bounds/overlay work. The first mismatch in the sequence
+// (a fault-corrupted index changed the control flow or an address) desyncs
+// the lane permanently: the rest of the warp runs on the real memory path,
+// and the caller must fall back to full execution for the lane's remaining
+// warps, because the recording can no longer bound what the lane writes.
+package simt
+
+import (
+	"math"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+// CaptureLog is the recorded reference execution of one application: one
+// KernelCapture per kernel launch, in launch order.
+type CaptureLog struct {
+	// Kernels holds one capture per launch, in App.Kernels order.
+	Kernels []*KernelCapture
+}
+
+// KernelCapture records one kernel launch.
+type KernelCapture struct {
+	// Kernel is the launched kernel (re-run warp-by-warp during replay).
+	Kernel *Kernel
+	// Warps holds each warp's record, dense by global warp ID.
+	Warps []*WarpCapture
+}
+
+// WarpCapture is the full memory behaviour of one warp in the reference
+// run: its identity, its loads in issue order, and its stores in commit
+// order.
+type WarpCapture struct {
+	// CTAIdx, WarpInCTA, GlobalWarpID, NumLanes identify the warp exactly
+	// as Driver.Run would construct it.
+	CTAIdx       arch.Dim3
+	WarpInCTA    int
+	GlobalWarpID int
+	NumLanes     int
+	// Loads and Stores are the warp's memory instructions in program order.
+	Loads  []LoadRec
+	Stores []StoreRec
+	// LoadBlocks is the deduplicated union of every load's Blocks — the
+	// warp's read footprint. A run whose divergent blocks miss this set
+	// entirely cannot observe the divergence in this warp.
+	LoadBlocks []arch.BlockAddr
+}
+
+// LoadRec is one recorded warp-level load.
+type LoadRec struct {
+	// PC is the static site that issued the load.
+	PC uint16
+	// BufID is the accessed data object.
+	BufID int16
+	// Broadcast marks a warp-uniform load (LoadF32Broadcast/LoadI32Broadcast).
+	Broadcast bool
+	// BIdx is the broadcast element index (broadcast loads only).
+	BIdx int32
+	// Idx is the per-lane index vector (vector loads only; length NumLanes,
+	// InactiveLane for predicated-off lanes).
+	Idx []int32
+	// Vals are the loaded 32-bit values per lane (vector loads: length
+	// NumLanes, undefined at inactive lanes; broadcast loads: length 1).
+	Vals []uint32
+	// Blocks are the coalesced blocks the load touches. For loads of
+	// protected objects the capture owner appends the replica blocks the
+	// protection scheme reads invisibly, so a clean Blocks set proves the
+	// full read (copies included) resolves to golden data.
+	Blocks []arch.BlockAddr
+}
+
+// StoreRec is one recorded warp-level store.
+type StoreRec struct {
+	// PC is the static site that issued the store.
+	PC uint16
+	// BufID is the written data object.
+	BufID int16
+	// Idx is the per-lane index vector (length NumLanes).
+	Idx []int32
+	// Vals are the stored 32-bit values per lane (length NumLanes).
+	Vals []uint32
+	// Blocks are the coalesced blocks the store writes.
+	Blocks []arch.BlockAddr
+}
+
+// ApproxBytes estimates the log's memory footprint, so callers can bound
+// how much capture state they keep per checkpoint.
+func (c *CaptureLog) ApproxBytes() int64 {
+	var n int64
+	for _, kc := range c.Kernels {
+		n += 64
+		for _, wc := range kc.Warps {
+			if wc == nil {
+				continue
+			}
+			n += 96 + int64(len(wc.LoadBlocks))*8
+			for i := range wc.Loads {
+				r := &wc.Loads[i]
+				n += 64 + int64(len(r.Idx))*4 + int64(len(r.Vals))*4 + int64(len(r.Blocks))*8
+			}
+			for i := range wc.Stores {
+				r := &wc.Stores[i]
+				n += 64 + int64(len(r.Idx))*4 + int64(len(r.Vals))*4 + int64(len(r.Blocks))*8
+			}
+		}
+	}
+	return n
+}
+
+// BlockSet is a dense bitset over block indices — the replay executor's
+// representation of a lane's divergent ("dirty") blocks.
+type BlockSet struct {
+	bits []uint64
+}
+
+// NewBlockSet returns a set sized for a memory of nblocks blocks.
+func NewBlockSet(nblocks int) *BlockSet {
+	return &BlockSet{bits: make([]uint64, (nblocks+63)/64)}
+}
+
+// Reset clears the set.
+func (s *BlockSet) Reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// Add inserts one block.
+func (s *BlockSet) Add(b arch.BlockAddr) {
+	s.bits[uint(b)/64] |= 1 << (uint(b) % 64)
+}
+
+// AddAll inserts every block of the slice.
+func (s *BlockSet) AddAll(blocks []arch.BlockAddr) {
+	for _, b := range blocks {
+		s.Add(b)
+	}
+}
+
+// Has reports membership.
+func (s *BlockSet) Has(b arch.BlockAddr) bool {
+	return s.bits[uint(b)/64]&(1<<(uint(b)%64)) != 0
+}
+
+// AnyOf reports whether any block of the slice is in the set.
+func (s *BlockSet) AnyOf(blocks []arch.BlockAddr) bool {
+	for _, b := range blocks {
+		if s.Has(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// LaneReplay is the per-warp replay state of one campaign lane executing a
+// recorded warp for real. It walks the warp's recorded load/store sequence
+// in lockstep with the execution: as long as every issued instruction
+// matches the recording (same site, object, and indices), loads whose
+// blocks are all outside Dirty are served from the recorded values. The
+// first sequence mismatch sets Desync and stops all serving — the caller
+// must treat the lane as fully divergent from then on.
+type LaneReplay struct {
+	// WC is the warp being replayed.
+	WC *WarpCapture
+	// Dirty is the lane's divergent-block set (shared across the lane's
+	// warps, maintained by the batch executor).
+	Dirty *BlockSet
+
+	loadCur  int
+	storeCur int
+	// Desync records that the executed instruction sequence diverged from
+	// the recording (a fault corrupted an index or branch). The lane's
+	// writes can no longer be bounded by the recording: the executor must
+	// run every remaining warp of the lane in full.
+	Desync bool
+}
+
+// serveVectorHead matches the header of the next recorded load (position,
+// site, object, vector-ness) against an issued vector load. A nil return
+// desyncs the lane; the caller still owns the per-lane index check and the
+// cursor advance.
+func (rp *LaneReplay) serveVectorHead(pc uint16, bufID int16) *LoadRec {
+	if rp.Desync || rp.loadCur >= len(rp.WC.Loads) {
+		rp.Desync = true
+		return nil
+	}
+	rec := &rp.WC.Loads[rp.loadCur]
+	if rec.PC != pc || rec.BufID != bufID || rec.Broadcast {
+		rp.Desync = true
+		return nil
+	}
+	return rec
+}
+
+// serveVectorF32 matches the next recorded load against an issued vector
+// load and, when every touched block — replicas included — is clean,
+// serves the recorded values into dst in the same pass that verifies the
+// index vector, returning true. A false return sends the caller to the
+// real-memory path: either the lane desynced (Desync is set, no values
+// written beyond lanes the slow path rewrites anyway) or the load touches
+// a dirty block (sequence verified, cursor advanced).
+func (rp *LaneReplay) serveVectorF32(pc uint16, bufID int16, idx []int32, n int, dst []float32) bool {
+	rec := rp.serveVectorHead(pc, bufID)
+	if rec == nil {
+		return false
+	}
+	// Reslicing to n lets the compiler drop the per-lane bounds checks in
+	// the loops below (the recorded warp has the executing warp's lane
+	// count, so these never shrink a live record).
+	recIdx, issued := rec.Idx[:n], idx[:n]
+	if rp.Dirty.AnyOf(rec.Blocks) {
+		// In sync so far, but the values must come from real memory; the
+		// index vector still needs verifying to keep the sequence sound.
+		for i, v := range issued {
+			if recIdx[i] != v {
+				rp.Desync = true
+				return false
+			}
+		}
+		rp.loadCur++
+		return false
+	}
+	vals, out := rec.Vals[:n], dst[:n]
+	for i, v := range issued {
+		if recIdx[i] != v {
+			rp.Desync = true
+			return false
+		}
+		if v != InactiveLane {
+			out[i] = math.Float32frombits(vals[i])
+		}
+	}
+	rp.loadCur++
+	return true
+}
+
+// serveVectorI32 is serveVectorF32 for int32 destinations.
+func (rp *LaneReplay) serveVectorI32(pc uint16, bufID int16, idx []int32, n int, dst []int32) bool {
+	rec := rp.serveVectorHead(pc, bufID)
+	if rec == nil {
+		return false
+	}
+	recIdx, issued := rec.Idx[:n], idx[:n]
+	if rp.Dirty.AnyOf(rec.Blocks) {
+		for i, v := range issued {
+			if recIdx[i] != v {
+				rp.Desync = true
+				return false
+			}
+		}
+		rp.loadCur++
+		return false
+	}
+	vals, out := rec.Vals[:n], dst[:n]
+	for i, v := range issued {
+		if recIdx[i] != v {
+			rp.Desync = true
+			return false
+		}
+		if v != InactiveLane {
+			out[i] = int32(vals[i])
+		}
+	}
+	rp.loadCur++
+	return true
+}
+
+// Reset rebinds the replay state to a new warp, letting the batch executor
+// reuse one LaneReplay per lane instead of allocating one per executed warp.
+func (rp *LaneReplay) Reset(wc *WarpCapture) {
+	rp.WC = wc
+	rp.loadCur = 0
+	rp.storeCur = 0
+	rp.Desync = false
+}
+
+// serveBroadcast is serveVector for warp-uniform loads.
+func (rp *LaneReplay) serveBroadcast(pc uint16, bufID int16, bidx int32) *LoadRec {
+	if rp.Desync || rp.loadCur >= len(rp.WC.Loads) {
+		rp.Desync = true
+		return nil
+	}
+	rec := &rp.WC.Loads[rp.loadCur]
+	if rec.PC != pc || rec.BufID != bufID || !rec.Broadcast || rec.BIdx != bidx {
+		rp.Desync = true
+		return nil
+	}
+	rp.loadCur++
+	if rp.Dirty.AnyOf(rec.Blocks) {
+		return nil
+	}
+	return rec
+}
+
+// noteStore matches the next recorded store against an issued store. The
+// store itself always executes on real memory; matching only maintains
+// sequence sync so the executor can bound the warp's write set by the
+// recording afterwards.
+func (rp *LaneReplay) noteStore(pc uint16, bufID int16, idx []int32, n int) {
+	if rp.Desync || rp.storeCur >= len(rp.WC.Stores) {
+		rp.Desync = true
+		return
+	}
+	rec := &rp.WC.Stores[rp.storeCur]
+	if rec.PC != pc || rec.BufID != bufID {
+		rp.Desync = true
+		return
+	}
+	for i := 0; i < n; i++ {
+		if rec.Idx[i] != idx[i] {
+			rp.Desync = true
+			return
+		}
+	}
+	rp.storeCur++
+}
+
+// ConsumedStores returns how many recorded stores the executed warp
+// committed (valid when the lane did not desync: the warp's write set is
+// exactly the blocks of those records).
+func (rp *LaneReplay) ConsumedStores() int { return rp.storeCur }

@@ -33,6 +33,19 @@ type WarpCtx struct {
 	tracing  bool
 	err      error
 
+	// linearBase is the global linear thread ID of lane 0, precomputed by
+	// the driver per warp so LinearThreadID is one add per call.
+	linearBase int
+	// emitActive gates the coalescer and transaction emission: campaigns
+	// run unobserved and untraced, where per-lane block bookkeeping is
+	// pure overhead.
+	emitActive bool
+	// capture, when set, records the warp's loads and stores for replay.
+	capture *WarpCapture
+	// replay, when set, serves loads from a recorded reference execution
+	// while the instruction sequence stays in sync with it.
+	replay *LaneReplay
+
 	// scratch reused by the coalescer across instructions.
 	laneBlocks [arch.WarpSize]arch.BlockAddr
 	uniq       []arch.BlockAddr
@@ -68,8 +81,7 @@ func (w *WarpCtx) ThreadIdx(lane int) arch.Dim3 {
 // LinearThreadID returns the global linear thread ID of the lane, with CTAs
 // laid out grid-x-major as CUDA does for 1-D launches.
 func (w *WarpCtx) LinearThreadID(lane int) int {
-	ctaLinear := w.drv.grid.Flatten(w.CTAIdx)
-	return ctaLinear*w.blockDim.Count() + w.WarpInCTA*arch.WarpSize + lane
+	return w.linearBase + lane
 }
 
 // Err returns the warp's sticky error, if any.
@@ -98,11 +110,29 @@ func (w *WarpCtx) Compute(n int) {
 
 // coalesce computes the unique 128 B blocks touched by nAddr lane addresses
 // in laneBlocks[:nAddr], preserving first-touch order. The result aliases
-// w.uniq and is valid until the next call.
+// w.uniq and is valid until the next call. Lane addresses are usually
+// block-ascending (unit-stride accesses), so the common case is a
+// compare-against-last append; the quadratic scan only runs after the first
+// out-of-order address.
 func (w *WarpCtx) coalesce(n int) []arch.BlockAddr {
 	w.uniq = w.uniq[:0]
+	asc := true
 	for i := 0; i < n; i++ {
 		b := w.laneBlocks[i]
+		if k := len(w.uniq); k == 0 {
+			w.uniq = append(w.uniq, b)
+			continue
+		} else if asc {
+			last := w.uniq[k-1]
+			if b == last {
+				continue
+			}
+			if b > last {
+				w.uniq = append(w.uniq, b)
+				continue
+			}
+			asc = false
+		}
 		seen := false
 		for _, u := range w.uniq {
 			if u == b {
@@ -156,6 +186,22 @@ func (w *WarpCtx) oobWord(buf *mem.Buffer, idx int32) (uint32, arch.BlockAddr) {
 	return w.drv.Mem.ReadWord(addr), addr.Block()
 }
 
+// recordLoad appends a vector-load record to the warp capture. vals holds
+// the loaded bits per lane (undefined at inactive lanes); n is the active
+// lane count whose blocks sit in laneBlocks.
+func (w *WarpCtx) recordLoad(site Site, buf *mem.Buffer, idx []int32, vals []uint32, n int) {
+	rec := LoadRec{
+		PC:    site.PC,
+		BufID: int16(buf.ID),
+		Idx:   append([]int32(nil), idx[:w.NumLanes]...),
+		Vals:  vals,
+	}
+	if n > 0 {
+		rec.Blocks = append([]arch.BlockAddr(nil), w.coalesce(n)...)
+	}
+	w.capture.Loads = append(w.capture.Loads, rec)
+}
+
 // LoadF32 performs a per-lane gather from buf: dst[lane] = buf[idx[lane]]
 // for each active lane. idx and dst must have length ≥ NumLanes; lanes with
 // idx[lane] == InactiveLane are predicated off. The load is coalesced into
@@ -164,6 +210,12 @@ func (w *WarpCtx) LoadF32(site Site, buf *mem.Buffer, idx []int32, dst []float32
 	if w.err != nil {
 		return
 	}
+	if rp := w.replay; rp != nil {
+		if rp.serveVectorF32(site.PC, int16(buf.ID), idx, w.NumLanes, dst) {
+			return
+		}
+	}
+	track := w.emitActive || w.capture != nil
 	n := 0
 	for lane := 0; lane < w.NumLanes; lane++ {
 		i := idx[lane]
@@ -179,7 +231,9 @@ func (w *WarpCtx) LoadF32(site Site, buf *mem.Buffer, idx []int32, dst []float32
 			}
 			word, blk := w.oobWord(buf, i)
 			dst[lane] = math.Float32frombits(word)
-			w.laneBlocks[n] = blk
+			if track {
+				w.laneBlocks[n] = blk
+			}
 			n++
 			continue
 		}
@@ -189,10 +243,21 @@ func (w *WarpCtx) LoadF32(site Site, buf *mem.Buffer, idx []int32, dst []float32
 			return
 		}
 		dst[lane] = math.Float32frombits(word)
-		w.laneBlocks[n] = addr.Block()
+		if track {
+			w.laneBlocks[n] = addr.Block()
+		}
 		n++
 	}
-	if n == 0 {
+	if w.capture != nil {
+		vals := make([]uint32, w.NumLanes)
+		for lane := 0; lane < w.NumLanes; lane++ {
+			if idx[lane] != InactiveLane {
+				vals[lane] = math.Float32bits(dst[lane])
+			}
+		}
+		w.recordLoad(site, buf, idx, vals, n)
+	}
+	if n == 0 || !w.emitActive {
 		return
 	}
 	w.emitMem(InstrLoad, site, buf, w.coalesce(n))
@@ -203,6 +268,12 @@ func (w *WarpCtx) LoadI32(site Site, buf *mem.Buffer, idx []int32, dst []int32) 
 	if w.err != nil {
 		return
 	}
+	if rp := w.replay; rp != nil {
+		if rp.serveVectorI32(site.PC, int16(buf.ID), idx, w.NumLanes, dst) {
+			return
+		}
+	}
+	track := w.emitActive || w.capture != nil
 	n := 0
 	for lane := 0; lane < w.NumLanes; lane++ {
 		i := idx[lane]
@@ -218,7 +289,9 @@ func (w *WarpCtx) LoadI32(site Site, buf *mem.Buffer, idx []int32, dst []int32) 
 			}
 			word, blk := w.oobWord(buf, i)
 			dst[lane] = int32(word)
-			w.laneBlocks[n] = blk
+			if track {
+				w.laneBlocks[n] = blk
+			}
 			n++
 			continue
 		}
@@ -228,13 +301,43 @@ func (w *WarpCtx) LoadI32(site Site, buf *mem.Buffer, idx []int32, dst []int32) 
 			return
 		}
 		dst[lane] = int32(word)
-		w.laneBlocks[n] = addr.Block()
+		if track {
+			w.laneBlocks[n] = addr.Block()
+		}
 		n++
 	}
-	if n == 0 {
+	if w.capture != nil {
+		vals := make([]uint32, w.NumLanes)
+		for lane := 0; lane < w.NumLanes; lane++ {
+			if idx[lane] != InactiveLane {
+				vals[lane] = uint32(dst[lane])
+			}
+		}
+		w.recordLoad(site, buf, idx, vals, n)
+	}
+	if n == 0 || !w.emitActive {
 		return
 	}
 	w.emitMem(InstrLoad, site, buf, w.coalesce(n))
+}
+
+// finishBroadcast records and emits the single transaction of a broadcast
+// load.
+func (w *WarpCtx) finishBroadcast(site Site, buf *mem.Buffer, bidx int32, word uint32, blk arch.BlockAddr) {
+	if w.capture != nil {
+		w.capture.Loads = append(w.capture.Loads, LoadRec{
+			PC:        site.PC,
+			BufID:     int16(buf.ID),
+			Broadcast: true,
+			BIdx:      bidx,
+			Vals:      []uint32{word},
+			Blocks:    []arch.BlockAddr{blk},
+		})
+	}
+	if w.emitActive {
+		w.laneBlocks[0] = blk
+		w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+	}
 }
 
 // LoadF32Broadcast reads one element on behalf of the whole warp — the
@@ -244,6 +347,11 @@ func (w *WarpCtx) LoadF32Broadcast(site Site, buf *mem.Buffer, idx int32) float3
 	if w.err != nil {
 		return 0
 	}
+	if rp := w.replay; rp != nil {
+		if rec := rp.serveBroadcast(site.PC, int16(buf.ID), idx); rec != nil {
+			return math.Float32frombits(rec.Vals[0])
+		}
+	}
 	addr := buf.ElemAddr(int(idx))
 	if idx < 0 || !buf.Contains(addr) {
 		if !w.drv.PermissiveOOB {
@@ -252,8 +360,7 @@ func (w *WarpCtx) LoadF32Broadcast(site Site, buf *mem.Buffer, idx int32) float3
 			return 0
 		}
 		word, blk := w.oobWord(buf, idx)
-		w.laneBlocks[0] = blk
-		w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+		w.finishBroadcast(site, buf, idx, word, blk)
 		return math.Float32frombits(word)
 	}
 	word, err := w.drv.reader.ReadLaneWord(buf, addr)
@@ -261,8 +368,7 @@ func (w *WarpCtx) LoadF32Broadcast(site Site, buf *mem.Buffer, idx int32) float3
 		w.fail(err)
 		return 0
 	}
-	w.laneBlocks[0] = addr.Block()
-	w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+	w.finishBroadcast(site, buf, idx, word, addr.Block())
 	return math.Float32frombits(word)
 }
 
@@ -271,6 +377,11 @@ func (w *WarpCtx) LoadI32Broadcast(site Site, buf *mem.Buffer, idx int32) int32 
 	if w.err != nil {
 		return 0
 	}
+	if rp := w.replay; rp != nil {
+		if rec := rp.serveBroadcast(site.PC, int16(buf.ID), idx); rec != nil {
+			return int32(rec.Vals[0])
+		}
+	}
 	addr := buf.ElemAddr(int(idx))
 	if idx < 0 || !buf.Contains(addr) {
 		if !w.drv.PermissiveOOB {
@@ -279,8 +390,7 @@ func (w *WarpCtx) LoadI32Broadcast(site Site, buf *mem.Buffer, idx int32) int32 
 			return 0
 		}
 		word, blk := w.oobWord(buf, idx)
-		w.laneBlocks[0] = blk
-		w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+		w.finishBroadcast(site, buf, idx, word, blk)
 		return int32(word)
 	}
 	word, err := w.drv.reader.ReadLaneWord(buf, addr)
@@ -288,8 +398,7 @@ func (w *WarpCtx) LoadI32Broadcast(site Site, buf *mem.Buffer, idx int32) int32 
 		w.fail(err)
 		return 0
 	}
-	w.laneBlocks[0] = addr.Block()
-	w.emitMem(InstrLoad, site, buf, w.coalesce(1))
+	w.finishBroadcast(site, buf, idx, word, addr.Block())
 	return int32(word)
 }
 
@@ -304,6 +413,12 @@ func (w *WarpCtx) StoreF32(site Site, buf *mem.Buffer, idx []int32, src []float3
 		w.fail(fmt.Errorf("simt: warp %d %s: store to read-only object %q", w.GlobalWarpID, site.Name, buf.Name))
 		return
 	}
+	if rp := w.replay; rp != nil {
+		// The store still executes on real memory below; matching only keeps
+		// the replay sequence in sync.
+		rp.noteStore(site.PC, int16(buf.ID), idx, w.NumLanes)
+	}
+	track := w.emitActive || w.capture != nil
 	n := 0
 	for lane := 0; lane < w.NumLanes; lane++ {
 		i := idx[lane]
@@ -317,10 +432,29 @@ func (w *WarpCtx) StoreF32(site Site, buf *mem.Buffer, idx []int32, src []float3
 			return
 		}
 		w.drv.Mem.WriteF32(addr, src[lane])
-		w.laneBlocks[n] = addr.Block()
+		if track {
+			w.laneBlocks[n] = addr.Block()
+		}
 		n++
 	}
-	if n == 0 {
+	if w.capture != nil {
+		rec := StoreRec{
+			PC:    site.PC,
+			BufID: int16(buf.ID),
+			Idx:   append([]int32(nil), idx[:w.NumLanes]...),
+			Vals:  make([]uint32, w.NumLanes),
+		}
+		for lane := 0; lane < w.NumLanes; lane++ {
+			if idx[lane] != InactiveLane {
+				rec.Vals[lane] = math.Float32bits(src[lane])
+			}
+		}
+		if n > 0 {
+			rec.Blocks = append([]arch.BlockAddr(nil), w.coalesce(n)...)
+		}
+		w.capture.Stores = append(w.capture.Stores, rec)
+	}
+	if n == 0 || !w.emitActive {
 		return
 	}
 	w.emitMem(InstrStore, site, buf, w.coalesce(n))

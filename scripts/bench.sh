@@ -8,11 +8,13 @@
 # (BenchmarkDcrmdHotServe cold/warm/dup) into BENCH_serve.json (or $3),
 # and the campaign-fabric scaling benchmarks (BenchmarkFleetCampaign at 1
 # and 3 workers) into BENCH_fleet.json (or $4).
-# The campaign file also carries the frozen pre-fork clone-path
-# measurements under the *PreFork names, so scripts/bench_compare.sh can
-# report the fast-path speedup against the code the fork + checkpoint path
-# replaced. CI re-runs this with a short BENCHTIME and compares against
-# the committed baselines (warn-only).
+# The campaign file also carries frozen historical measurements: the
+# pre-fork clone-path numbers under the *PreFork names and the pre-batch
+# one-run-per-replay fork-path numbers under the *PreBatch names, so
+# scripts/bench_compare.sh can report the fast-path and batched-execution
+# speedups against the code each generation replaced. CI re-runs this
+# with a short BENCHTIME and compares against the committed baselines
+# (warn-only).
 #
 #   scripts/bench.sh                  # refresh all baselines (1s rounds)
 #   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json fleet.json
@@ -25,13 +27,19 @@ CAMPAIGN_OUT="${2:-BENCH_campaign.json}"
 SERVE_OUT="${3:-BENCH_serve.json}"
 FLEET_OUT="${4:-BENCH_fleet.json}"
 
-# Frozen pre-fork baseline: the clone-per-run campaign path measured at
-# the commit that introduced copy-on-write forking (same benchmark
-# configurations, -benchtime 2s). Marked "frozen": true — kept as data,
-# never re-run, because the code it measured is gone;
+# Frozen historical baselines, marked "frozen": true — kept as data,
+# never re-run, because the code they measured is gone;
 # scripts/bench_compare.sh labels and skips them accordingly.
-PREFORK_ENTRIES='    {"name": "BenchmarkCampaignFig6PreFork", "frozen": true, "iterations": 0, "ns_per_op": 141245682, "bytes_per_op": 16833190, "allocs_per_op": 2209},
-    {"name": "BenchmarkCampaignFig9PreFork", "frozen": true, "iterations": 0, "ns_per_op": 205210604, "bytes_per_op": 18726577, "allocs_per_op": 9303},'
+#   *PreFork:  the clone-per-run campaign path, measured at the commit
+#              that introduced copy-on-write forking.
+#   *PreBatch: the fork + checkpoint path executing one run per
+#              functional replay, measured at the commit that introduced
+#              batched group replay.
+# (Same benchmark configurations, -benchtime 2s, same host class.)
+FROZEN_ENTRIES='    {"name": "BenchmarkCampaignFig6PreFork", "frozen": true, "iterations": 0, "ns_per_op": 141245682, "bytes_per_op": 16833190, "allocs_per_op": 2209},
+    {"name": "BenchmarkCampaignFig9PreFork", "frozen": true, "iterations": 0, "ns_per_op": 205210604, "bytes_per_op": 18726577, "allocs_per_op": 9303},
+    {"name": "BenchmarkCampaignFig6PreBatch", "frozen": true, "iterations": 0, "ns_per_op": 30349036, "bytes_per_op": 727318, "allocs_per_op": 795},
+    {"name": "BenchmarkCampaignFig9PreBatch", "frozen": true, "iterations": 0, "ns_per_op": 37191367, "bytes_per_op": 717144, "allocs_per_op": 729},'
 
 # render_json RAW BENCHTIME [EXTRA_ENTRY_LINES] -> JSON on stdout
 render_json() {
@@ -68,7 +76,7 @@ raw=$(go test ./internal/experiments -run '^$' \
   -bench 'BenchmarkCampaignFig(6|9)$' \
   -benchmem -benchtime "$BENCHTIME")
 echo "$raw" >&2
-render_json "$raw" "$BENCHTIME" "$PREFORK_ENTRIES" > "$CAMPAIGN_OUT"
+render_json "$raw" "$BENCHTIME" "$FROZEN_ENTRIES" > "$CAMPAIGN_OUT"
 echo "wrote $CAMPAIGN_OUT" >&2
 
 raw=$(go test ./cmd/dcrmd -run '^$' \
