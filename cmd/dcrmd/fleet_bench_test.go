@@ -34,7 +34,7 @@ func benchFleet(b *testing.B, nWorkers int) {
 		ValidateSpec:   experiments.ValidateSpec,
 	})
 	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60}, reg, 64)
-	srv := httptest.NewServer(newMux(r, coord, reg))
+	srv := httptest.NewServer(newMux(r, coord, reg, false))
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -30,7 +30,7 @@ func newFleetServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
 		Telemetry:      reg,
 	})
 	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg, 64)
-	srv := httptest.NewServer(newMux(r, coord, reg))
+	srv := httptest.NewServer(newMux(r, coord, reg, false))
 	t.Cleanup(srv.Close)
 	return srv, reg
 }

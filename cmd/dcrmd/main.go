@@ -66,6 +66,7 @@ func run() error {
 	scale := flag.String("scale", "small", "workload input scale: small, medium, large")
 	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory (created if missing); empty = in-memory only")
 	maxInflight := flag.Int("max-inflight", 0, "maximum concurrently live campaign jobs before submissions get 429 (0 = 2×GOMAXPROCS)")
+	pprofFlag := flag.Bool("pprof", false, "serve Go runtime profiling under /debug/pprof (off by default: exposes stacks and heap contents)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -113,7 +114,7 @@ func run() error {
 
 	runner := newRunner(cfg, reg, *maxInflight)
 	coord := newCoordinator(reg)
-	srv := &http.Server{Addr: *addr, Handler: newMux(runner, coord, reg)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(runner, coord, reg, *pprofFlag)}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"github.com/datacentric-gpu/dcrm/internal/fleet"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
@@ -34,9 +35,23 @@ type healthReport struct {
 //	POST /v1/campaigns       submit a campaign: {"kind":"fig6","runs":100,...}
 //	GET  /v1/campaigns/{id}  one job, result included once done
 //	/v1/fleet/*              the campaign fabric's control plane (coord.Register)
-func newMux(r *runner, coord *fleet.Coordinator, reg *telemetry.Registry) *http.ServeMux {
+//	/debug/pprof/*           Go runtime profiling, only when enablePprof
+//
+// The pprof surface is off by default (the -pprof flag): profiling
+// endpoints expose goroutine stacks and heap contents and can run
+// CPU-consuming captures, so an operator must opt in before they exist on
+// a listening daemon. When disabled the paths 404 like any other unknown
+// route.
+func newMux(r *runner, coord *fleet.Coordinator, reg *telemetry.Registry, enablePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	coord.Register(mux)
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, health(r, coord))

@@ -20,7 +20,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg, 64)
-	srv := httptest.NewServer(newMux(r, newCoordinator(reg), reg))
+	srv := httptest.NewServer(newMux(r, newCoordinator(reg), reg, false))
 	t.Cleanup(func() {
 		srv.Close()
 		r.wait()
@@ -264,4 +264,38 @@ func TestDaemonBreakdownKind(t *testing.T) {
 			t.Errorf("cell model = %v, want transient", cell["Model"])
 		}
 	}
+}
+
+// TestPprofGatedByFlag pins the profiling surface's opt-in contract: with
+// -pprof off (the default) every /debug/pprof path is an unknown route and
+// 404s; with it on, the index and the cheap sub-profiles serve.
+func TestPprofGatedByFlag(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := newRunner(experiments.SuiteConfig{NNTrainSamples: 60, Workers: 2}, reg, 64)
+	off := httptest.NewServer(newMux(r, newCoordinator(reg), reg, false))
+	defer off.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(off.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s with pprof disabled = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	on := httptest.NewServer(newMux(r, newCoordinator(reg), reg, true))
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with pprof enabled = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	r.wait()
 }

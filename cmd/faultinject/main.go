@@ -6,6 +6,7 @@
 //
 //	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0] [-batch 0]
 //	            [-quiet] [-model spec[;spec...]] [-breakdown] [-csv dir] [-store-dir dir]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Campaign progress (completed configurations, elapsed time, ETA) is
 // reported on stderr; -quiet silences it. Results on stdout are
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
@@ -54,12 +57,19 @@ func run() error {
 	breakdown := flag.Bool("breakdown", false, "run the fault-model × scheme outcome breakdown instead of Fig. 6")
 	csvDir := flag.String("csv", "", "also export the result cells as CSV into this directory (created if missing)")
 	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return nil
 	}
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 
 	if *batch < 0 {
 		return fmt.Errorf("-batch must be non-negative (0 = auto, 1 = unbatched), got %d", *batch)
@@ -102,6 +112,44 @@ func run() error {
 	return runFig6(suite, experiments.Fig6Config{
 		Runs: *runs, Seed: *seed, Models: models, Apps: appList,
 	}, *csvDir)
+}
+
+// startProfiling starts a CPU profile and arranges a heap profile snapshot,
+// as requested; the returned stop function finalizes both and must run
+// before process exit.
+func startProfiling(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 // runFig6 runs the hot-vs-rest campaign and renders its table.

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	resilience -perf [-apps …] [-workers 0] [-csv dir] [-store-dir dir]
-//	resilience -sdc [-runs 1000] [-apps …] [-workers 0] [-csv dir] [-store-dir dir]
+//	resilience -perf [-apps …] [-workers 0] [-csv dir] [-store-dir dir] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	resilience -sdc [-runs 1000] [-apps …] [-workers 0] [-csv dir] [-store-dir dir] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -csv the Fig. 7 points and Fig. 9 cells are also exported as CSV
 // (parent directories are created as needed); with -store-dir results are
@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
@@ -41,12 +43,19 @@ func run() error {
 	workers := flag.Int("workers", 0, "experiment fan-out goroutines (0 = GOMAXPROCS); results are identical at any count")
 	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory (created if missing)")
 	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return nil
 	}
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 	if !*perf && !*sdc {
 		*perf, *sdc = true, true
 	}
@@ -81,6 +90,44 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// startProfiling starts a CPU profile and arranges a heap profile snapshot,
+// as requested; the returned stop function finalizes both and must run
+// before process exit.
+func startProfiling(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 func runPerf(suite *experiments.Suite, apps []string, csvDir string) error {

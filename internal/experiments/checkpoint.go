@@ -43,6 +43,9 @@ type Checkpoint struct {
 	missOnce sync.Once
 	missSel  fault.Selector
 	missErr  error
+	// simShards is the suite's resolved timing-replay shard count, carried
+	// here so the lazy miss-selector replay runs at the suite's parallelism.
+	simShards int
 
 	// The store-commit timeline (one instrumented timing replay) is lazy
 	// like the golden run: only campaigns under timeline-consulting fault
@@ -125,7 +128,7 @@ func (s *Suite) checkpoint(key string, build func() (*kernels.App, *core.Plan, e
 }
 
 func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {
-	cp := &Checkpoint{App: app, Plan: plan}
+	cp := &Checkpoint{App: app, Plan: plan, simShards: s.cfg.SimShards}
 	if reg := s.cfg.Telemetry; reg != nil {
 		cp.tele = checkpointTelemetry{
 			forks: reg.Counter("dcrm_campaign_forks_total",
@@ -192,7 +195,7 @@ func (cp *Checkpoint) Golden() ([]float32, error) {
 // timing run per checkpoint, shared across fault models and campaigns.
 func (cp *Checkpoint) MissSelector() (fault.Selector, error) {
 	cp.missOnce.Do(func() {
-		cp.missSel, cp.missErr = MissWeightedSelector(cp.App, cp.Plan)
+		cp.missSel, cp.missErr = MissWeightedSelector(cp.App, cp.Plan, cp.simShards)
 	})
 	return cp.missSel, cp.missErr
 }

@@ -82,7 +82,9 @@ func weightConfig() arch.Config {
 // application instance: a timing run (with the plan's replica traffic)
 // produces the per-block L1-miss histogram, and injection probability is
 // proportional to it — misses expose data to the L2/DRAM fault domain.
-func MissWeightedSelector(app *kernels.App, plan *core.Plan) (fault.Selector, error) {
+// shards sets the replay's event-scheduler shard count (0 = serial); the
+// histogram is byte-identical at any value.
+func MissWeightedSelector(app *kernels.App, plan *core.Plan, shards int) (fault.Selector, error) {
 	traces, err := app.TraceRun(nil)
 	if err != nil {
 		return nil, err
@@ -95,6 +97,7 @@ func MissWeightedSelector(app *kernels.App, plan *core.Plan) (fault.Selector, er
 	if err != nil {
 		return nil, err
 	}
+	eng.Shards = shards
 	eng.TrackBlockMisses = true
 	if _, err := eng.RunApp(app.Name, traces); err != nil {
 		return nil, err

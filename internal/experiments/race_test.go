@@ -21,7 +21,7 @@ func TestCampaignRaceClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel, err := MissWeightedSelector(app, plan)
+	sel, err := MissWeightedSelector(app, plan, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
@@ -83,6 +84,14 @@ type SuiteConfig struct {
 	// Fig. 9 sweeps). 0 means GOMAXPROCS. Results are identical at any
 	// worker count; only wall-clock time changes.
 	Workers int
+	// SimShards sets the timing engine's event-scheduler shard count for
+	// every replay the suite runs (timing.Engine.Shards). 0 means
+	// GOMAXPROCS; the engine clamps to [1, NumSMs] and forces the serial
+	// path for instrumented replays (OnStore, InjectAt). Replay statistics
+	// are byte-identical at any shard count — the golden-stats gate pins
+	// this — so the value is a pure performance control and is deliberately
+	// excluded from store keys.
+	SimShards int
 	// Batch is the default campaign batch size: how many runs a campaign
 	// claim replays per functional pass (0 = auto, fault.DefaultBatch;
 	// 1 disables batching). Outcomes are byte-identical at any batch size —
@@ -128,6 +137,9 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 	if c.Scale == 0 {
 		c.Scale = ScaleSmall
 	}
+	if c.SimShards == 0 {
+		c.SimShards = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -167,9 +179,9 @@ type Suite struct {
 	// leaves it unset).
 	ctx context.Context
 	// base is the canonical suite identity folded into every store key:
-	// everything a cached result depends on. Workers, Progress, and
-	// Telemetry are deliberately excluded — they are observation-only and
-	// never change results.
+	// everything a cached result depends on. Workers, SimShards, Progress,
+	// and Telemetry are deliberately excluded — they are performance or
+	// observation controls and never change results.
 	base string
 }
 
@@ -205,6 +217,11 @@ func (s *Suite) key(ns string) *store.KeyBuilder {
 // Store exposes the suite's result store (for status inspection; never nil
 // after NewSuite).
 func (s *Suite) Store() *store.Store { return s.st }
+
+// SimShards returns the resolved timing-replay shard count (SimShards
+// after defaulting); callers building their own timing engines against
+// suite artifacts use it to match the suite's replay parallelism.
+func (s *Suite) SimShards() int { return s.cfg.SimShards }
 
 // AllNames returns every application label, evaluated apps first.
 func (s *Suite) AllNames() []string {

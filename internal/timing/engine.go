@@ -2,11 +2,11 @@ package timing
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/datacentric-gpu/dcrm/internal/arch"
 	"github.com/datacentric-gpu/dcrm/internal/cache"
 	"github.com/datacentric-gpu/dcrm/internal/dram"
-	"github.com/datacentric-gpu/dcrm/internal/noc"
 	"github.com/datacentric-gpu/dcrm/internal/simt"
 	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 )
@@ -20,79 +20,38 @@ type groupRef struct {
 	gen uint32
 }
 
-// l2bank is one channel's L2 slice plus its (unbounded, merging) miss
-// tracking. Waiters live in a slot array keyed by block — the same shape
-// as the L1 MSHR — rather than a map: under the constant key churn of
-// in-flight fills a map sporadically allocates overflow buckets forever,
-// while the slot array and its per-slot SM lists reach a high-water mark
-// and are then reused in place, keeping the steady state allocation-free.
-type l2bank struct {
-	c          *cache.Cache
-	portFreeAt int64
-	waitSlots  []l2waitSlot
-}
-
-// l2waitSlot tracks one in-flight fill and the SMs awaiting it, in arrival
-// order.
-type l2waitSlot struct {
-	blk   arch.BlockAddr
-	valid bool
-	sms   []int32
-}
-
-// addWaiter records smID as waiting on blk's fill and reports whether a
-// fill was already outstanding (merged); the caller enqueues the DRAM
-// request only for the first waiter.
-func (b *l2bank) addWaiter(blk arch.BlockAddr, smID int32) (merged bool) {
-	free := -1
-	for i := range b.waitSlots {
-		s := &b.waitSlots[i]
-		if s.valid {
-			if s.blk == blk {
-				s.sms = append(s.sms, smID)
-				return true
-			}
-		} else if free == -1 {
-			free = i
-		}
-	}
-	if free == -1 {
-		b.waitSlots = append(b.waitSlots, l2waitSlot{sms: make([]int32, 0, 8)})
-		free = len(b.waitSlots) - 1
-	}
-	s := &b.waitSlots[free]
-	s.blk, s.valid = blk, true
-	s.sms = append(s.sms[:0], smID)
-	return false
-}
-
-// takeWaiters releases blk's waiter list, returning the SM ids in arrival
-// order, or nil when no fill is outstanding. The slice aliases the slot's
-// storage and is valid until the slot is reused by a later addWaiter.
-func (b *l2bank) takeWaiters(blk arch.BlockAddr) []int32 {
-	for i := range b.waitSlots {
-		s := &b.waitSlots[i]
-		if s.valid && s.blk == blk {
-			s.valid = false
-			return s.sms
-		}
-	}
-	return nil
+// pendInject is an InjectAt callback registered between kernels, waiting
+// to enter the next replay's event schedule.
+type pendInject struct {
+	at  int64
+	idx int
 }
 
 // Engine is the timing simulator. Build one with New, then replay kernel
 // traces with RunKernel; L2 and DRAM state persist across kernels of the
 // same application while L1s are invalidated at kernel boundaries. Not safe
-// for concurrent use.
+// for concurrent use — a replay may spawn shard goroutines internally, but
+// the Engine's public surface is single-caller.
 //
 // The engine is allocation-free in steady state: replaying the same (or a
 // same-shaped) kernel repeatedly on one engine performs zero heap
 // allocations per replay. Events are value types in a non-boxing
-// scheduler, copy-groups and load-ops are pooled on free-lists, warp state
-// lives in a reusable slab, and every auxiliary slice (CTA queue, L2
-// waiter lists, DRAM completion scratch) is recycled across kernels.
+// scheduler, copy-groups and load-ops are pooled on per-shard free-lists,
+// warp state lives in a reusable slab, and every auxiliary slice (CTA
+// queue, L2 waiter lists, DRAM completion scratch, message mailboxes) is
+// recycled across kernels.
 type Engine struct {
 	cfg arch.Config
+	// Shards partitions the machine's components (SM domains, channel
+	// domains, the CTA dispatcher) across this many event schedulers for
+	// each replay. 0 and 1 both run the single-threaded reference path —
+	// same window grid, no goroutines; values above 1 run one goroutine
+	// per shard, clamped to the SM count. Results are byte-identical at
+	// every setting (see the package doc's "Sharded replay" section);
+	// replays with an OnStore observer or pending InjectAt callbacks
+	// force the serial path so user callbacks never run concurrently.
+	// Mutate only between RunKernel calls.
+	Shards int
 	// Policy selects the warp scheduler (default GTO).
 	Policy SchedulerPolicy
 	// CompareBufferSize overrides the pending-comparison buffer entries
@@ -116,33 +75,46 @@ type Engine struct {
 	// instrumented replay per application is how the fault layer captures
 	// the store-commit timeline (fault.Timeline) that decides whether a
 	// later store masks a transient flip. Observation only — attaching it
-	// does not perturb replay timing — but like Trace it belongs on
-	// dedicated instrumented replays, not on golden-stat runs.
+	// does not perturb replay timing — but it pins the replay to the
+	// serial path, and like Trace it belongs on dedicated instrumented
+	// replays, not on golden-stat runs.
 	OnStore func(blk arch.BlockAddr, at int64)
 
 	blockMisses map[arch.BlockAddr]uint64
 	traceMeta   bool // lane-metadata events emitted (once per engine)
 
 	plan  ProtectionPlan
-	xbar  *noc.Crossbar
-	banks []*l2bank
-	drams []*dram.Controller
 	sms   []*smState
+	chans []*chanState
 
-	sched scheduler
-	now   int64
+	// Shard fabric. lookahead is the conservative window length L: every
+	// cross-component message latency is at least L, so messages created
+	// in one window are never due before the next. The fabric is built
+	// lazily by ensureShards and rebuilt only when the shard count
+	// changes; components (and their L2/DRAM state) survive rebuilds.
+	lookahead int64
+	shards    []*shard
+	smOwner   []int32 // SM id -> owning shard
+	chOwner   []int32 // channel id -> owning shard
+	dispShard int32   // shard owning the CTA dispatcher
+	dispKey   int32   // the dispatcher's message source key
+	nexts     []int64 // per-shard earliest pending cycle, stride-padded
+	barrier   spinBarrier
+	active    *shard // serial shard of an in-flight replay (InjectAt target)
 
-	// Free-lists and reusable buffers; see the allocation contract above.
-	groupPool   []*copyGroup
-	loadPool    []*loadOp
-	warpSlab    []warpState
-	warpNext    int
-	dramScratch []dram.Completion
-	dramPumpAt  []int64
+	now int64
+
+	// Warp state slab: one slot per trace warp, indexed by the warp's
+	// trace index so concurrent shards write disjoint slots.
+	warpSlab []warpState
 
 	// injectFns holds InjectAt callbacks; evInject events carry an index
-	// into it (one-shot: slots nil out after firing).
-	injectFns []func(now int64)
+	// into it (one-shot: slots nil out after firing). injectLive counts
+	// registered-but-unfired callbacks; pendInjects holds registrations
+	// made between kernels.
+	injectFns   []func(now int64)
+	injectLive  int
+	pendInjects []pendInject
 
 	// Per-kernel bookkeeping.
 	trace        *simt.KernelTrace
@@ -151,10 +123,7 @@ type Engine struct {
 	warpsPerCTA  int
 	maxCTAsPerSM int
 	ctaLiveWarps []int // live warps per CTA, indexed by CTA id
-	liveWarps    int
-	copyTx       uint64
-	mshrStalls   uint64
-	cmpStalls    uint64
+	liveWarps    int   // warps installed by the serial initial fill
 }
 
 // New builds an engine for the configuration. plan may be nil (baseline, no
@@ -163,31 +132,49 @@ func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("timing: %w", err)
 	}
-	xbar, err := noc.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("timing: %w", err)
+	// The interconnect's one-way latency splits into an injection half and
+	// a delivery half, floored at one cycle each so the lookahead window
+	// is well-defined for any configuration.
+	half := int64(cfg.InterconnectLatency / 2)
+	rest := int64(cfg.InterconnectLatency) - half
+	if half < 1 {
+		half = 1
+	}
+	if rest < 1 {
+		rest = 1
 	}
 	e := &Engine{
 		cfg:               cfg,
 		Policy:            GTO,
 		CompareBufferSize: CompareBufferEntries,
 		plan:              plan,
-		xbar:              xbar,
-		dramPumpAt:        make([]int64, cfg.NumMemChannels),
+		lookahead:         half,
+		dispKey:           int32(cfg.NumSMs + cfg.NumMemChannels),
 		blockMisses:       make(map[arch.BlockAddr]uint64),
 	}
 	for ch := 0; ch < cfg.NumMemChannels; ch++ {
-		c, err := cache.New(cfg.L2)
+		l2, err := cache.New(cfg.L2)
 		if err != nil {
 			return nil, fmt.Errorf("timing: L2 bank %d: %w", ch, err)
 		}
-		e.banks = append(e.banks, &l2bank{c: c})
 		ctl, err := dram.NewController(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("timing: DRAM channel %d: %w", ch, err)
 		}
-		e.drams = append(e.drams, ctl)
-		e.dramPumpAt[ch] = -1
+		c := &chanState{
+			id:      int32(ch),
+			l2:      l2,
+			dram:    ctl,
+			ingress: nocPort{latency: rest},
+			egress:  nocPort{latency: half},
+			pumpAt:  -1,
+			scratch: make([]dram.Completion, 0, 64),
+		}
+		c.waitSlots = make([]l2waitSlot, 0, 64)
+		for i := 0; i < 64; i++ {
+			c.waitSlots = append(c.waitSlots, l2waitSlot{sms: make([]int32, 0, 16)})
+		}
+		e.chans = append(e.chans, c)
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		l1, err := cache.New(cfg.L1)
@@ -198,76 +185,93 @@ func New(cfg arch.Config, plan ProtectionPlan) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("timing: MSHR %d: %w", i, err)
 		}
-		e.sms = append(e.sms, &smState{id: i, engine: e, l1: l1, mshr: mshr, lastIssued: -1, stepScheduledAt: -1})
-	}
-	// Pre-fill the free-lists and waiter slots past their expected
-	// high-water marks (bounded by outstanding L1 misses and resident
-	// warps) so the replay loop reaches its allocation-free steady state
-	// on the first kernel rather than trickling pool growth across many
-	// replays as cache state evolves.
-	for i := 0; i < cfg.NumSMs*cfg.L1MSHRs; i++ {
-		e.groupPool = append(e.groupPool, &copyGroup{})
-	}
-	for i := 0; i < cfg.NumSMs*cfg.MaxWarpsPerSM; i++ {
-		e.loadPool = append(e.loadPool, &loadOp{})
-	}
-	for _, b := range e.banks {
-		b.waitSlots = make([]l2waitSlot, 0, 64)
-		for i := 0; i < 64; i++ {
-			b.waitSlots = append(b.waitSlots, l2waitSlot{sms: make([]int32, 0, 16)})
-		}
+		e.sms = append(e.sms, &smState{
+			id: i, engine: e, l1: l1, mshr: mshr,
+			lastIssued: -1, stepScheduledAt: -1,
+			inject: nocPort{latency: half},
+			eject:  nocPort{latency: rest},
+		})
 	}
 	return e, nil
 }
 
-// post enqueues a typed event due at cycle `at`.
-func (e *Engine) post(at int64, ev event) {
-	ev.at = at
-	e.sched.schedule(ev, e.now)
+// effectiveShards resolves the Shards knob for the next replay: clamped to
+// [1, NumSMs], and forced to 1 while an OnStore observer or un-fired
+// InjectAt callbacks are attached (user callbacks must not run
+// concurrently, and their ordering is defined against the serial path).
+func (e *Engine) effectiveShards() int {
+	n := e.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > e.cfg.NumSMs {
+		n = e.cfg.NumSMs
+	}
+	if e.OnStore != nil || e.injectLive > 0 || len(e.pendInjects) > 0 {
+		n = 1
+	}
+	return n
 }
 
-// dispatch executes one popped event. The switch bodies mirror the
-// closures of the original engine one for one, including the staleness
-// guards that let superseded step and pump markers die silently.
-func (e *Engine) dispatch(ev *event) {
-	now := e.now
-	switch ev.kind {
-	case evSMStep:
-		s := e.sms[ev.sm]
-		if s.stepScheduledAt == now {
-			s.step(now)
+// ensureShards (re)builds the shard fabric for n shards. Components keep
+// their identity (and cross-kernel L2/DRAM state) across rebuilds; only
+// ownership, mailboxes, and free-lists are reassigned. Free-lists are
+// pre-filled past their expected high-water marks (bounded by outstanding
+// L1 misses and resident warps) so the replay loop reaches its
+// allocation-free steady state on the first kernel.
+func (e *Engine) ensureShards(n int) {
+	if len(e.shards) == n {
+		return
+	}
+	e.shards = make([]*shard, n)
+	e.smOwner = make([]int32, len(e.sms))
+	e.chOwner = make([]int32, len(e.chans))
+	e.nexts = make([]int64, n*nextsStride)
+	for i := range e.shards {
+		sh := &shard{id: int32(i), eng: e}
+		sh.outbox = make([][]message, n)
+		for d := range sh.outbox {
+			sh.outbox[d] = make([]message, 0, 64)
 		}
-	case evGroupArrive:
-		if ev.g.gen == ev.gen {
-			ev.g.arrive(now, e.sms[ev.sm])
+		sh.inbox = make([]message, 0, 64)
+		e.shards[i] = sh
+	}
+	// Contiguous balanced partition: SM i and channel c go to shards
+	// i*n/NumSMs and c*n/NumChans — a pure function of the configuration,
+	// though results would be identical under any layout.
+	for i, s := range e.sms {
+		sh := e.shards[i*n/len(e.sms)]
+		s.sh = sh
+		e.smOwner[i] = sh.id
+		sh.sms = append(sh.sms, s)
+	}
+	for i, c := range e.chans {
+		sh := e.shards[i*n/len(e.chans)]
+		e.chOwner[i] = sh.id
+		sh.chans = append(sh.chans, c)
+	}
+	e.dispShard = 0
+	e.shards[0].dispatcher = true
+	for _, sh := range e.shards {
+		nsm := len(sh.sms)
+		for i := 0; i < nsm*e.cfg.L1MSHRs; i++ {
+			sh.groupPool = append(sh.groupPool, &copyGroup{})
 		}
-	case evL2Access:
-		e.l2Access(int(ev.sm), int(ev.ch), ev.blk, now, ev.write)
-	case evSMReceive:
-		e.smReceive(e.sms[ev.sm], ev.blk, now)
-	case evDRAMComplete:
-		e.dramComplete(int(ev.ch), ev.blk, ev.write, now)
-	case evDRAMPump:
-		ch := int(ev.ch)
-		if e.dramPumpAt[ch] == now {
-			e.dramPumpAt[ch] = -1
-			e.pumpDRAM(ch, now)
-		}
-	case evInject:
-		if fn := e.injectFns[ev.sm]; fn != nil {
-			e.injectFns[ev.sm] = nil
-			fn(now)
+		for i := 0; i < nsm*e.cfg.MaxWarpsPerSM; i++ {
+			sh.loadPool = append(sh.loadPool, &loadOp{})
 		}
 	}
+	e.barrier.n = int32(n)
 }
 
 // InjectAt schedules fn to run exactly once when the replay reaches the
 // given cycle — the timing-engine injection hook the transient fault
 // model's semantics are defined against. The callback rides the ordinary
 // event scheduler, so it is totally ordered against every memory-system
-// event at that cycle (deterministically, by scheduling sequence). A
-// cycle already in the past is clamped to the current cycle. Call before
-// or during a replay; a callback scheduled past the kernel's natural end
+// event at that cycle (deterministically, by scheduling sequence); while
+// any callback is pending the replay runs on the serial path. A cycle
+// already in the past is clamped to the current cycle. Call before or
+// during a replay; a callback scheduled past the kernel's natural end
 // extends the replay until it fires, so pick cycles within the span of
 // the work being replayed (instrumented replays only — never attach
 // injections to runs whose statistics feed the golden gates).
@@ -275,64 +279,22 @@ func (e *Engine) InjectAt(cycle int64, fn func(now int64)) {
 	if fn == nil {
 		return
 	}
+	idx := len(e.injectFns)
+	e.injectFns = append(e.injectFns, fn)
+	e.injectLive++
+	if sh := e.active; sh != nil {
+		// Mid-replay registration (from another callback or an OnStore
+		// observer): post straight into the live serial schedule.
+		if cycle < sh.now {
+			cycle = sh.now
+		}
+		sh.post(cycle, event{kind: evInject, sm: int32(idx)})
+		return
+	}
 	if cycle < e.now {
 		cycle = e.now
 	}
-	idx := len(e.injectFns)
-	e.injectFns = append(e.injectFns, fn)
-	e.post(cycle, event{kind: evInject, sm: int32(idx)})
-}
-
-// takeGroup pops a copy-group from the pool (or grows it), initializing
-// the tracking fields. The generation survives from the pooled object so
-// outstanding references from a previous life stay invalid.
-func (e *Engine) takeGroup(op *loadOp, total, needed int, protected bool) *copyGroup {
-	var g *copyGroup
-	if n := len(e.groupPool); n > 0 {
-		g = e.groupPool[n-1]
-		e.groupPool = e.groupPool[:n-1]
-	} else {
-		g = &copyGroup{}
-	}
-	g.op = op
-	g.total = total
-	g.needed = needed
-	g.arrived = 0
-	g.protected = protected
-	g.doneSent = false
-	return g
-}
-
-// releaseGroup recycles a fully arrived copy-group, bumping its generation
-// so any stale reference (event or MSHR waiter) is recognizably dead.
-func (e *Engine) releaseGroup(g *copyGroup) {
-	g.gen++
-	g.op = nil
-	e.groupPool = append(e.groupPool, g)
-}
-
-// takeLoadOp pops a load-op from the pool (or grows it).
-func (e *Engine) takeLoadOp(w *warpState, s *smState, remaining int) *loadOp {
-	var op *loadOp
-	if n := len(e.loadPool); n > 0 {
-		op = e.loadPool[n-1]
-		e.loadPool = e.loadPool[:n-1]
-	} else {
-		op = &loadOp{}
-	}
-	op.warp = w
-	op.sm = s
-	op.remaining = remaining
-	return op
-}
-
-// releaseLoadOp recycles a completed load-op. Copy-groups that already
-// consumed their blockDone never touch the op again (doneSent), so the
-// object is safe to reuse immediately.
-func (e *Engine) releaseLoadOp(op *loadOp) {
-	op.warp = nil
-	op.sm = nil
-	e.loadPool = append(e.loadPool, op)
+	e.pendInjects = append(e.pendInjects, pendInject{at: cycle, idx: idx})
 }
 
 // RunKernel replays one kernel trace to completion and returns its stats.
@@ -340,23 +302,68 @@ func (e *Engine) RunKernel(tr *simt.KernelTrace) (KernelStats, error) {
 	if tr == nil || len(tr.Warps) == 0 {
 		return KernelStats{}, fmt.Errorf("timing: empty trace")
 	}
+	e.ensureShards(e.effectiveShards())
 	e.resetForKernel(tr)
 	start := e.now
 
-	for _, s := range e.sms {
-		e.dispatchTo(s)
-		e.scheduleStep(s, e.now)
-	}
-	for !e.sched.empty() {
-		ev := e.sched.pop()
-		if ev.at < e.now {
-			return KernelStats{}, fmt.Errorf("timing: time ran backwards: %d < %d", ev.at, e.now)
+	// Serial prologue, in deterministic order: pending injections first
+	// (lowest sequence numbers, as when they were registered up front),
+	// then the initial CTA fill in SM index order.
+	sh0 := e.shards[0]
+	for _, p := range e.pendInjects {
+		at := p.at
+		if at < start {
+			at = start
 		}
-		e.now = ev.at
-		e.dispatch(&ev)
+		sh0.post(at, event{kind: evInject, sm: int32(p.idx)})
 	}
-	if e.liveWarps != 0 {
-		return KernelStats{}, fmt.Errorf("timing: kernel %q deadlocked with %d live warps", tr.Kernel, e.liveWarps)
+	e.pendInjects = e.pendInjects[:0]
+	for _, s := range e.sms {
+		e.fillSM(s)
+		s.sh.scheduleStep(s, start)
+	}
+
+	if len(e.shards) == 1 {
+		e.active = sh0
+		sh0.runWindows(start)
+		e.active = nil
+	} else {
+		e.barrier.count.Store(0)
+		e.barrier.sense.Store(0)
+		var wg sync.WaitGroup
+		for _, sh := range e.shards[1:] {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.runWindows(start)
+			}(sh)
+		}
+		sh0.runWindows(start)
+		wg.Wait()
+	}
+
+	end := start
+	live := e.liveWarps
+	for _, sh := range e.shards {
+		if sh.err != nil {
+			return KernelStats{}, sh.err
+		}
+		if sh.lastAt > end {
+			end = sh.lastAt
+		}
+		live += sh.liveDelta
+	}
+	e.now = end
+	if live != 0 {
+		return KernelStats{}, fmt.Errorf("timing: kernel %q deadlocked with %d live warps", tr.Kernel, live)
+	}
+	if e.TrackBlockMisses {
+		for _, sh := range e.shards {
+			for blk, n := range sh.blockMisses {
+				e.blockMisses[blk] += n
+			}
+			clear(sh.blockMisses)
+		}
 	}
 	ks := e.collectStats(tr.Kernel, e.now-start)
 	e.publishTelemetry(ks, start)
@@ -405,15 +412,11 @@ func (e *Engine) resetForKernel(tr *simt.KernelTrace) {
 	} else {
 		e.warpSlab = e.warpSlab[:len(tr.Warps)]
 	}
-	e.warpNext = 0
 	e.liveWarps = 0
-	e.copyTx, e.mshrStalls, e.cmpStalls = 0, 0, 0
-	e.xbar.Stats = noc.Stats{}
-	for _, b := range e.banks {
-		b.c.ResetStats()
-	}
-	for _, d := range e.drams {
-		d.ResetStats()
+	for _, c := range e.chans {
+		c.l2.ResetStats()
+		c.dram.ResetStats()
+		c.responses = 0
 	}
 	for _, s := range e.sms {
 		s.l1.InvalidateAll()
@@ -426,27 +429,42 @@ func (e *Engine) resetForKernel(tr *simt.KernelTrace) {
 		s.residentCTAs = 0
 		s.stepScheduledAt = -1
 		s.instructions = 0
+		s.requests = 0
+	}
+	for _, sh := range e.shards {
+		sh.sched.reset()
+		sh.now = e.now
+		sh.lastAt = e.now
+		sh.msgSeq = 0
+		sh.copyTx, sh.mshrStalls, sh.cmpStalls = 0, 0, 0
+		sh.liveDelta = 0
+		sh.err = nil
+		sh.inbox = sh.inbox[:0]
+		for d := range sh.outbox {
+			sh.outbox[d] = sh.outbox[d][:0]
+		}
 	}
 }
 
 func (e *Engine) collectStats(kernel string, cycles int64) KernelStats {
 	ks := KernelStats{
-		Kernel:           kernel,
-		Cycles:           cycles,
-		NoC:              e.xbar.Stats,
-		CopyTransactions: e.copyTx,
-		MSHRStalls:       e.mshrStalls,
-		CompareStalls:    e.cmpStalls,
+		Kernel: kernel,
+		Cycles: cycles,
+	}
+	for _, sh := range e.shards {
+		ks.CopyTransactions += sh.copyTx
+		ks.MSHRStalls += sh.mshrStalls
+		ks.CompareStalls += sh.cmpStalls
 	}
 	for _, s := range e.sms {
 		ks.L1.Add(s.l1.Stats)
 		ks.Instructions += s.instructions
+		ks.NoC.Requests += s.requests
 	}
-	for _, b := range e.banks {
-		ks.L2.Add(b.c.Stats)
-	}
-	for _, d := range e.drams {
-		ks.DRAM.Add(d.Stats)
+	for _, c := range e.chans {
+		ks.L2.Add(c.l2.Stats)
+		ks.DRAM.Add(c.dram.Stats)
+		ks.NoC.Responses += c.responses
 	}
 	return ks
 }
@@ -456,296 +474,53 @@ func (e *Engine) collectStats(kernel string, cycles int64) KernelStats {
 // callers must not mutate it.
 func (e *Engine) BlockMisses() map[arch.BlockAddr]uint64 { return e.blockMisses }
 
-// dispatchTo fills an SM with CTAs up to its occupancy limit. Warp state
-// comes from the engine's slab: one slot per trace warp, reset in place at
-// each kernel boundary.
-func (e *Engine) dispatchTo(s *smState) {
+// ctaLiveCount returns how many of a CTA's warps carry a non-empty trace —
+// what installCTA would install as live.
+func (e *Engine) ctaLiveCount(cta int) int {
+	n := 0
+	for wi := 0; wi < e.warpsPerCTA; wi++ {
+		if len(e.trace.Warps[cta*e.warpsPerCTA+wi]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// installCTA makes one CTA resident on an SM, installing its warps from
+// the slab (slots are indexed by trace warp index, so shards installing on
+// different SMs write disjoint slab regions). Returns the number of live
+// warps installed; a fully empty CTA releases its slot again.
+func (e *Engine) installCTA(s *smState, cta int, now int64) int {
+	s.residentCTAs++
+	live := 0
+	for wi := 0; wi < e.warpsPerCTA; wi++ {
+		idx := cta*e.warpsPerCTA + wi
+		trace := e.trace.Warps[idx]
+		w := &e.warpSlab[idx]
+		*w = warpState{trace: trace, age: s.ageCounter, cta: cta, readyAt: now}
+		s.ageCounter++
+		if len(trace) == 0 {
+			w.retired = true
+		} else {
+			s.warps = append(s.warps, w)
+			live++
+		}
+	}
+	e.ctaLiveWarps[cta] = live
+	if live == 0 {
+		s.residentCTAs--
+	}
+	return live
+}
+
+// fillSM fills an SM with CTAs up to its occupancy limit — the serial
+// initial fill at kernel start. Replacement CTAs during the replay flow
+// through the dispatcher's message protocol instead.
+func (e *Engine) fillSM(s *smState) {
 	for s.residentCTAs < e.maxCTAsPerSM && e.ctaHead < len(e.ctaQueue) {
 		cta := e.ctaQueue[e.ctaHead]
 		e.ctaHead++
-		s.residentCTAs++
-		live := 0
-		for wi := 0; wi < e.warpsPerCTA; wi++ {
-			trace := e.trace.Warps[cta*e.warpsPerCTA+wi]
-			w := &e.warpSlab[e.warpNext]
-			e.warpNext++
-			*w = warpState{trace: trace, age: s.ageCounter, cta: cta, readyAt: e.now}
-			s.ageCounter++
-			if len(trace) == 0 {
-				w.retired = true
-			} else {
-				s.warps = append(s.warps, w)
-				live++
-			}
-		}
-		e.ctaLiveWarps[cta] = live
-		e.liveWarps += live
-		if live == 0 {
-			s.residentCTAs--
-		}
-	}
-}
-
-// warpRetired accounts a warp's retirement and recycles its CTA slot.
-func (e *Engine) warpRetired(s *smState, w *warpState) {
-	e.liveWarps--
-	e.ctaLiveWarps[w.cta]--
-	if e.ctaLiveWarps[w.cta] > 0 {
-		return
-	}
-	s.residentCTAs--
-	// Drop the CTA's warps from the resident set.
-	kept := s.warps[:0]
-	for _, rw := range s.warps {
-		if rw.cta != w.cta {
-			kept = append(kept, rw)
-		}
-	}
-	s.warps = kept
-	s.lastIssued = -1
-	e.dispatchTo(s)
-	e.wakeSM(s, e.now)
-}
-
-// scheduleStep arranges for the SM's issue loop to run at cycle `at`,
-// deduplicating against an already-pending earlier step.
-func (e *Engine) scheduleStep(s *smState, at int64) {
-	if at < e.now {
-		at = e.now
-	}
-	if s.stepScheduledAt >= 0 && s.stepScheduledAt <= at {
-		return
-	}
-	s.stepScheduledAt = at
-	// The event only acts when it is still the SM's current step marker:
-	// superseded (stale) events die silently, which keeps the event count
-	// linear in useful work. The marker always names exactly one live
-	// event, so no wake-up is ever lost.
-	e.post(at, event{kind: evSMStep, sm: int32(s.id)})
-}
-
-// wakeSM nudges the SM's issue loop at the current cycle, unblocking any
-// warps parked on a structural stall (MSHR or compare buffer full): wake
-// moments are exactly the resource-release moments.
-func (e *Engine) wakeSM(s *smState, now int64) {
-	for _, w := range s.warps {
-		if w.readyAt >= stallParked {
-			w.readyAt = now
-		}
-	}
-	e.scheduleStep(s, now)
-}
-
-// issueLoad issues (or resumes) a load instruction's coalesced transactions
-// at cycle t. It charges one LD/ST port cycle per transaction, including
-// replica-copy transactions.
-func (e *Engine) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
-	if w.curLoad == nil {
-		w.pendingLoads++
-		w.curLoad = e.takeLoadOp(w, s, len(in.Blocks))
-		s.instructions++
-	}
-	op := w.curLoad
-	used := int64(0)
-	for w.txIndex < len(in.Blocks) {
-		blk := in.Blocks[w.txIndex]
-		at := t + used
-		copies := 1
-		if e.plan != nil {
-			copies = e.plan.Copies(in.PC, in.BufID)
-		}
-
-		if s.l1.Probe(blk) {
-			// L1 hit: normal operation, no replication (Section IV-B1).
-			s.l1.Read(blk)
-			g := e.takeGroup(op, 1, 1, false)
-			e.post(at+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
-			used++
-			w.txIndex++
-			continue
-		}
-
-		// L1 miss: count the misses we are about to take (primary plus any
-		// replica copies not resident) and check structural resources.
-		missing := 1
-		for c := 1; c < copies; c++ {
-			if !s.l1.Probe(e.plan.ReplicaBlock(in.BufID, blk, c)) {
-				missing++
-			}
-		}
-		if copies > 1 && s.compareInUse >= e.CompareBufferSize {
-			e.cmpStalls++
-			e.stallRetry(s, w, t, used)
-			return
-		}
-		if s.mshr.Capacity()-s.mshr.InUse() < missing {
-			e.mshrStalls++
-			e.stallRetry(s, w, t, used)
-			return
-		}
-
-		needed := copies
-		if copies == 1 || (e.plan != nil && e.plan.Lazy()) {
-			needed = 1
-		}
-		g := e.takeGroup(op, copies, needed, copies > 1)
-		if g.protected {
-			s.compareInUse++
-			e.copyTx += uint64(copies - 1)
-		}
-		for c := 0; c < copies; c++ {
-			cb := blk
-			if c > 0 {
-				cb = e.plan.ReplicaBlock(in.BufID, blk, c)
-			}
-			txAt := t + used
-			used++ // each copy transaction consumes an LD/ST port cycle
-			if s.l1.Read(cb) {
-				// This copy is resident in L1.
-				e.post(txAt+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
-				continue
-			}
-			if e.TrackBlockMisses {
-				e.blockMisses[cb]++
-			}
-			switch s.mshr.Allocate(cb, groupRef{g: g, gen: g.gen}) {
-			case cache.MSHRNew:
-				e.sendToL2(s, cb, txAt, false)
-			case cache.MSHRMerged:
-				// An earlier miss to this block is in flight; we ride it.
-			case cache.MSHRFull:
-				// Cannot happen: headroom was checked above.
-			}
-		}
-		w.txIndex++
-	}
-	s.portFreeAt = t + maxI64(used, 1)
-	w.readyAt = s.portFreeAt
-	w.curLoad = nil
-	s.finishInstr(w)
-}
-
-// stallRetry charges the port for the work done so far and parks the warp
-// until a resource-release wake (wakeSM) clears the sentinel. A structural
-// stall implies outstanding fills, so a wake always follows — polling on a
-// timer would multiply events without making progress.
-func (e *Engine) stallRetry(s *smState, w *warpState, t, used int64) {
-	s.portFreeAt = t + maxI64(used, 1)
-	w.readyAt = stallParked
-}
-
-// issueStore forwards a store's transactions write-through to L2, returning
-// the port cycles consumed.
-func (e *Engine) issueStore(s *smState, in *simt.Instr, t int64) int64 {
-	for i, blk := range in.Blocks {
-		s.l1.Write(blk)
-		e.sendToL2(s, blk, t+int64(i), true)
-	}
-	return int64(len(in.Blocks))
-}
-
-// sendToL2 routes a request over the crossbar and schedules the bank access.
-func (e *Engine) sendToL2(s *smState, blk arch.BlockAddr, t int64, write bool) {
-	ch := e.cfg.ChannelOf(blk)
-	arrive, err := e.xbar.RouteRequest(s.id, ch, t)
-	if err != nil {
-		// Unreachable by construction: SM and channel ids are in range.
-		return
-	}
-	e.post(arrive, event{kind: evL2Access, sm: int32(s.id), ch: int32(ch), blk: blk, write: write})
-}
-
-// l2Access performs the bank lookup, serialized on the bank port.
-func (e *Engine) l2Access(smID, ch int, blk arch.BlockAddr, now int64, write bool) {
-	b := e.banks[ch]
-	st := now
-	if b.portFreeAt > st {
-		st = b.portFreeAt
-	}
-	b.portFreeAt = st + 1
-	hitLat := int64(e.cfg.L2HitLatency)
-
-	if write {
-		if e.OnStore != nil {
-			e.OnStore(blk, st)
-		}
-		if !b.c.Write(blk) {
-			// No-write-allocate: miss goes to DRAM.
-			e.drams[ch].Enqueue(dram.Request{Block: blk, Write: true}, st+hitLat)
-			e.pumpDRAM(ch, st+hitLat)
-		}
-		return
-	}
-
-	if b.c.Read(blk) {
-		e.respond(ch, smID, blk, st+hitLat)
-		return
-	}
-	// Miss: merge on an outstanding fill if one exists.
-	if b.addWaiter(blk, int32(smID)) {
-		return
-	}
-	e.drams[ch].Enqueue(dram.Request{Block: blk}, st+hitLat)
-	e.pumpDRAM(ch, st+hitLat)
-}
-
-// respond routes a fill back to the SM.
-func (e *Engine) respond(ch, smID int, blk arch.BlockAddr, t int64) {
-	arrive, err := e.xbar.RouteResponse(ch, smID, t)
-	if err != nil {
-		return
-	}
-	e.post(arrive, event{kind: evSMReceive, sm: int32(smID), blk: blk})
-}
-
-// smReceive fills L1 and completes every waiter of the returned block.
-func (e *Engine) smReceive(s *smState, blk arch.BlockAddr, now int64) {
-	s.l1.Fill(blk)
-	for _, ref := range s.mshr.Complete(blk) {
-		if ref.g.gen == ref.gen {
-			ref.g.arrive(now, s)
-		}
-	}
-	// The MSHR entry just freed may unblock a parked warp even if no load
-	// completed.
-	e.wakeSM(s, now)
-}
-
-// pumpDRAM advances the channel's controller and schedules completions and
-// the next scheduling opportunity.
-func (e *Engine) pumpDRAM(ch int, now int64) {
-	ctl := e.drams[ch]
-	e.dramScratch = ctl.AdvanceAppend(e.dramScratch[:0], now)
-	for _, comp := range e.dramScratch {
-		e.post(comp.At, event{kind: evDRAMComplete, ch: int32(ch), blk: comp.Req.Block, write: comp.Req.Write})
-	}
-	if ctl.QueueLen() == 0 {
-		return
-	}
-	next := ctl.NextStartTime()
-	if next <= now {
-		next = now + 1
-	}
-	if e.dramPumpAt[ch] >= 0 && e.dramPumpAt[ch] <= next {
-		return
-	}
-	e.dramPumpAt[ch] = next
-	e.post(next, event{kind: evDRAMPump, ch: int32(ch)})
-}
-
-// dramComplete fills L2 and fans the data out to waiting SMs.
-func (e *Engine) dramComplete(ch int, blk arch.BlockAddr, write bool, now int64) {
-	defer e.pumpDRAM(ch, now)
-	if write {
-		return
-	}
-	b := e.banks[ch]
-	if ev, had := b.c.Fill(blk); had && ev.Dirty {
-		// Dirty victim: write back to DRAM.
-		e.drams[ch].Enqueue(dram.Request{Block: ev.Block, Write: true}, now)
-	}
-	for _, smID := range b.takeWaiters(blk) {
-		e.respond(ch, int(smID), blk, now)
+		e.liveWarps += e.installCTA(s, cta, e.now)
 	}
 }
 

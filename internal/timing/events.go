@@ -30,9 +30,37 @@
 // Because the sequence counter is monotonic, any event in the heap due at
 // the current cycle was scheduled earlier (smaller seq) than every FIFO
 // entry, and the pop path's unified (at, seq) comparison preserves the
-// exact global order the boxed heap produced. Determinism is therefore
-// bit-exact with the pre-optimization engine; the golden-stats test in
-// internal/experiments pins that contract across the full workload suite.
+// exact global order of a single ordered heap.
+//
+// # Sharded replay
+//
+// The engine no longer runs one global scheduler. The machine is split
+// into components — one domain per SM (core, L1, MSHRs, its NoC inject
+// and eject ports), one domain per memory channel (L2 bank, DRAM
+// controller, its NoC ingress and egress ports), and a CTA dispatcher —
+// and each component's events live on the scheduler of the shard that
+// owns it. All cross-component interaction travels as timestamped
+// messages (L2 requests, fill responses, CTA requests and grants) whose
+// network hop latencies are at least the engine's lookahead window
+// L = max(1, InterconnectLatency/2). Replay proceeds window by window on
+// a fixed cycle grid anchored at the kernel start: at each window barrier
+// every shard drains the messages due inside the window — sorted by
+// (due, source component, source sequence) — converts them into local
+// events, and then simulates the window's cycles independently. Because
+// every message is created at least one full window before it is due,
+// the barrier exchange is conservative: no shard can ever receive a
+// message for a cycle it has already simulated.
+//
+// The window grid, the message sort order, and the per-component event
+// order are all functions of the configuration and the trace alone —
+// never of the shard count or of real-time scheduling — so KernelStats,
+// telemetry counters, and golden divergence behavior are byte-identical
+// at any Engine.Shards setting. The golden-stats gate in
+// internal/experiments pins that contract at shards {1, 2, 4, 8} across
+// the full workload suite. Components that share a shard interleave
+// arbitrarily within a window, but they touch disjoint state (pooled
+// objects are interchangeable and generation-guarded; shard counters are
+// commutative sums), so co-location cannot be observed in results.
 //
 // # Fault-injection hook
 //
@@ -79,6 +107,13 @@ const (
 	// Engine.InjectAt when the replay reaches its cycle. The event reuses
 	// the sm payload field as the callback's index in Engine.injectFns.
 	evInject
+	// evCTADispatch is the CTA dispatcher's receipt of an SM's request for
+	// a replacement CTA (msgCTAReq): it pops queued CTAs, skipping ones
+	// with no live warps, and answers with a grant message.
+	evCTADispatch
+	// evCTAInstall is an SM's receipt of a CTA grant (msgCTAGrant): the
+	// CTA's warps are installed from the slab and the issue loop is woken.
+	evCTAInstall
 )
 
 // event is one scheduled action: an ordering key plus a tagged payload.
@@ -92,6 +127,7 @@ type event struct {
 	gen  uint32 // copy-group generation at schedule time
 	sm   int32
 	ch   int32
+	cta  int32 // CTA id for evCTAInstall
 	kind eventKind
 	// write distinguishes store traffic on the L2/DRAM paths.
 	write bool
@@ -139,6 +175,29 @@ func (s *scheduler) empty() bool {
 // pending returns the number of scheduled events not yet popped.
 func (s *scheduler) pending() int {
 	return len(s.heap) + len(s.fifo) - s.fifoHead
+}
+
+// nextAt returns the cycle of the earliest pending event, or noEvent when
+// the scheduler is empty. The windowed replay loop peeks it to decide
+// whether the next event still falls inside the current window.
+func (s *scheduler) nextAt() int64 {
+	next := int64(noEvent)
+	if s.fifoHead < len(s.fifo) {
+		next = s.fifo[s.fifoHead].at
+	}
+	if len(s.heap) > 0 && s.heap[0].at < next {
+		next = s.heap[0].at
+	}
+	return next
+}
+
+// reset drops every pending event and rewinds the sequence counter,
+// keeping the backing arrays for reuse.
+func (s *scheduler) reset() {
+	s.heap = s.heap[:0]
+	s.fifo = s.fifo[:0]
+	s.fifoHead = 0
+	s.seq = 0
 }
 
 // pop removes and returns the globally earliest event under (at, seq).

@@ -72,8 +72,8 @@ func TestChannelDistribution(t *testing.T) {
 		t.Fatal("no DRAM traffic")
 	}
 	// Every controller must have served roughly its share.
-	for ch, d := range e.drams {
-		if d.Stats.Served == 0 {
+	for ch, c := range e.chans {
+		if c.dram.Stats.Served == 0 {
 			t.Errorf("channel %d served nothing; interleaving broken", ch)
 		}
 	}

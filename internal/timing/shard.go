@@ -1,0 +1,776 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync/atomic"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/cache"
+	"github.com/datacentric-gpu/dcrm/internal/dram"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// noEvent is the "scheduler empty / no pending work" sentinel on the
+// window loop's time axis.
+const noEvent = int64(math.MaxInt64)
+
+// Message kinds: the four cross-component interactions of the machine.
+const (
+	// msgReq carries an L2 request (load miss or write-through store) from
+	// an SM's inject port to a channel's ingress port.
+	msgReq uint8 = iota
+	// msgResp carries a fill from a channel's egress port back to an SM's
+	// eject port.
+	msgResp
+	// msgCTAReq tells the dispatcher an SM finished a CTA and has a free
+	// slot.
+	msgCTAReq
+	// msgCTAGrant assigns a queued CTA to the requesting SM.
+	msgCTAGrant
+)
+
+// message is one cross-component interaction in flight. sendAt is the
+// cycle the sending component issued it; due is when it clears the
+// sender-side port (inject or egress) and becomes available at the
+// receiver-side port. (sendAt, srcKey, srcSeq) is the canonical delivery
+// order, independent of shard count: srcKey identifies the sending
+// component and srcSeq its send order, both functions of the
+// deterministic per-component event order alone. Ordering deliveries by
+// issue time (not arrival) mirrors the crossbar model, which reserves the
+// receiver-side port slot the moment a packet is routed: a packet stuck
+// behind a backed-up inject port still holds its place in the channel's
+// service order.
+type message struct {
+	sendAt int64
+	due    int64
+	srcSeq uint64
+	blk    arch.BlockAddr
+	srcKey int32
+	sm     int32
+	ch     int32
+	cta    int32
+	kind   uint8
+	write  bool
+}
+
+// msgBefore is the canonical cross-shard delivery order.
+func msgBefore(a, b message) int {
+	switch {
+	case a.sendAt != b.sendAt:
+		if a.sendAt < b.sendAt {
+			return -1
+		}
+		return 1
+	case a.srcKey != b.srcKey:
+		if a.srcKey < b.srcKey {
+			return -1
+		}
+		return 1
+	case a.srcSeq < b.srcSeq:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// chanState is one memory channel's domain: the L2 bank slice, the FR-FCFS
+// DRAM controller behind it, and the channel's NoC ingress/egress ports.
+// Waiters for in-flight L2 fills live in a slot array keyed by block — the
+// same shape as the L1 MSHR — rather than a map: under the constant key
+// churn of in-flight fills a map sporadically allocates overflow buckets
+// forever, while the slot array and its per-slot SM lists reach a
+// high-water mark and are then reused in place, keeping the steady state
+// allocation-free.
+type chanState struct {
+	id         int32
+	l2         *cache.Cache
+	portFreeAt int64
+	waitSlots  []l2waitSlot
+	dram       *dram.Controller
+	ingress    nocPort
+	egress     nocPort
+	pumpAt     int64
+	scratch    []dram.Completion
+	// responses counts NoC response traversals (summed into KernelStats.NoC).
+	responses uint64
+}
+
+// l2waitSlot tracks one in-flight fill and the SMs awaiting it, in arrival
+// order.
+type l2waitSlot struct {
+	blk   arch.BlockAddr
+	valid bool
+	sms   []int32
+}
+
+// addWaiter records smID as waiting on blk's fill and reports whether a
+// fill was already outstanding (merged); the caller enqueues the DRAM
+// request only for the first waiter.
+func (c *chanState) addWaiter(blk arch.BlockAddr, smID int32) (merged bool) {
+	free := -1
+	for i := range c.waitSlots {
+		s := &c.waitSlots[i]
+		if s.valid {
+			if s.blk == blk {
+				s.sms = append(s.sms, smID)
+				return true
+			}
+		} else if free == -1 {
+			free = i
+		}
+	}
+	if free == -1 {
+		c.waitSlots = append(c.waitSlots, l2waitSlot{sms: make([]int32, 0, 8)})
+		free = len(c.waitSlots) - 1
+	}
+	s := &c.waitSlots[free]
+	s.blk, s.valid = blk, true
+	s.sms = append(s.sms[:0], smID)
+	return false
+}
+
+// takeWaiters releases blk's waiter list, returning the SM ids in arrival
+// order, or nil when no fill is outstanding. The slice aliases the slot's
+// storage and is valid until the slot is reused by a later addWaiter.
+func (c *chanState) takeWaiters(blk arch.BlockAddr) []int32 {
+	for i := range c.waitSlots {
+		s := &c.waitSlots[i]
+		if s.valid && s.blk == blk {
+			s.valid = false
+			return s.sms
+		}
+	}
+	return nil
+}
+
+// nocPort is a serializing NoC port: one packet per cycle plus a fixed
+// traversal latency (the same model as noc.Link, owned per component so a
+// port is only ever touched from its component's deterministic event
+// order). The latency floor of one cycle is what guarantees every
+// cross-component message is due at least one lookahead window after it
+// is sent.
+type nocPort struct {
+	latency  int64
+	nextFree int64
+}
+
+// send schedules a packet entering the port at cycle now and returns its
+// delivery time; packets queue FIFO when the port is busy.
+func (p *nocPort) send(now int64) int64 {
+	start := now
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	p.nextFree = start + 1
+	return start + p.latency
+}
+
+// spinBarrier is a sense-reversing barrier for the shard goroutines. The
+// window loop crosses it twice per window, so it spins briefly before
+// yielding; on a host with fewer cores than shards the Gosched path keeps
+// the loop live (at degraded speed) instead of deadlocking.
+type spinBarrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Int32
+}
+
+// wait blocks until all n participants arrive. local is the caller's
+// private sense, flipped on every crossing.
+func (b *spinBarrier) wait(local *int32) {
+	s := 1 - *local
+	*local = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s)
+		return
+	}
+	for i := 0; b.sense.Load() != s; i++ {
+		if i > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// shard owns a contiguous slice of the machine's components — SM domains,
+// channel domains, and possibly the CTA dispatcher — plus its own event
+// scheduler, clock, free-lists, and counters. Everything a shard touches
+// during a window is either owned by it or reached through the message
+// mailboxes, which are only accessed on the safe side of a barrier.
+type shard struct {
+	id  int32
+	eng *Engine
+
+	sched  scheduler
+	now    int64 // current window position (monotonic)
+	lastAt int64 // cycle of the last event actually processed
+
+	sms        []*smState   // owned SM domains
+	chans      []*chanState // owned channel domains
+	dispatcher bool         // owns the CTA dispatcher
+
+	// outbox[d] holds messages for shard d, written only while this shard
+	// processes a window; inbox holds received messages not yet due,
+	// drained only in the delivery phase. The two phases are separated by
+	// barriers, so no mailbox is ever touched from two goroutines at once.
+	outbox [][]message
+	inbox  []message
+	msgSeq uint64
+
+	// Free-lists for the owned SMs' load-ops and copy-groups.
+	groupPool []*copyGroup
+	loadPool  []*loadOp
+
+	// Per-shard slices of the engine-global counters, merged at kernel end
+	// (commutative sums, so co-location and merge order are unobservable).
+	copyTx      uint64
+	mshrStalls  uint64
+	cmpStalls   uint64
+	liveDelta   int
+	blockMisses map[arch.BlockAddr]uint64
+
+	err error
+}
+
+// post enqueues a typed event due at cycle at on this shard's scheduler.
+func (sh *shard) post(at int64, ev event) {
+	ev.at = at
+	sh.sched.schedule(ev, sh.now)
+}
+
+// sendMsg stamps and mails a cross-component message. Same-shard traffic
+// takes the same mailbox path as remote traffic so delivery order (and
+// therefore results) cannot depend on the component-to-shard layout.
+func (sh *shard) sendMsg(dst int32, m message) {
+	m.srcSeq = sh.msgSeq
+	sh.msgSeq++
+	sh.outbox[dst] = append(sh.outbox[dst], m)
+}
+
+// fail records a broken engine invariant and drops the shard's remaining
+// work so the window loop can drain to global termination instead of
+// deadlocking the barrier protocol.
+func (sh *shard) fail(err error) {
+	if sh.err == nil {
+		sh.err = err
+	}
+	sh.sched.reset()
+	sh.inbox = sh.inbox[:0]
+	for d := range sh.outbox {
+		sh.outbox[d] = sh.outbox[d][:0]
+	}
+}
+
+// localNext returns the earliest cycle at which this shard has pending
+// work: a scheduled event or an unsent outbox message (which the
+// receiving shard has not seen yet; its due time lower-bounds whatever
+// event delivery will post). The inbox is always empty here — delivery
+// drains it completely at the top of every round.
+func (sh *shard) localNext() int64 {
+	next := sh.sched.nextAt()
+	for d := range sh.outbox {
+		for i := range sh.outbox[d] {
+			if sh.outbox[d][i].due < next {
+				next = sh.outbox[d][i].due
+			}
+		}
+	}
+	return next
+}
+
+// deliverWindow runs a round's delivery phase: it collects every message
+// other shards mailed to this one and commits them all — in canonical
+// (sendAt, srcKey, srcSeq) order — reserving receiver-side port slots and
+// posting the resulting local events.
+func (sh *shard) deliverWindow(start int64) {
+	if sh.now < start {
+		sh.now = start
+	}
+	for _, other := range sh.eng.shards {
+		ob := &other.outbox[sh.id]
+		if len(*ob) > 0 {
+			sh.inbox = append(sh.inbox, (*ob)...)
+			*ob = (*ob)[:0]
+		}
+	}
+	// Every pending message was sent before this window opened, and every
+	// future message will be sent at or after it, so the whole inbox can
+	// be committed now: canonical order is globally monotone across
+	// barriers, which keeps receiver-side port reservations in issue
+	// order exactly like the serial crossbar.
+	slices.SortFunc(sh.inbox, msgBefore)
+	for i := range sh.inbox {
+		sh.deliverMsg(&sh.inbox[i])
+	}
+	sh.inbox = sh.inbox[:0]
+}
+
+// deliverMsg converts one due message into local events. Port send calls
+// happen here, in canonical delivery order, which is what makes ingress
+// and eject serialization arrival-ordered and shard-count independent.
+func (sh *shard) deliverMsg(m *message) {
+	switch m.kind {
+	case msgReq:
+		c := sh.eng.chans[m.ch]
+		at := c.ingress.send(m.due)
+		sh.post(at, event{kind: evL2Access, sm: m.sm, ch: m.ch, blk: m.blk, write: m.write})
+	case msgResp:
+		s := sh.eng.sms[m.sm]
+		at := s.eject.send(m.due)
+		sh.post(at, event{kind: evSMReceive, sm: m.sm, blk: m.blk})
+	case msgCTAReq:
+		sh.post(m.due, event{kind: evCTADispatch, sm: m.sm})
+	case msgCTAGrant:
+		sh.post(m.due, event{kind: evCTAInstall, sm: m.sm, cta: m.cta})
+	}
+}
+
+// processWindow pops and dispatches every event due before end.
+func (sh *shard) processWindow(end int64) {
+	for {
+		at := sh.sched.nextAt()
+		if at >= end {
+			return
+		}
+		ev := sh.sched.pop()
+		if ev.at < sh.now {
+			sh.fail(fmt.Errorf("timing: shard %d: time ran backwards: %d < %d", sh.id, ev.at, sh.now))
+			return
+		}
+		sh.now = ev.at
+		sh.lastAt = ev.at
+		sh.dispatch(&ev)
+	}
+}
+
+// runWindows drives the shard through the barrier-synchronized window
+// loop until no shard has pending work. With a single shard the barriers
+// vanish and the same loop is the serial reference path. The window grid
+// is anchored at the kernel start and strides by the engine lookahead, so
+// the schedule of barriers — part of the replay's semantics — is a
+// function of the configuration alone.
+func (sh *shard) runWindows(start int64) {
+	e := sh.eng
+	n := len(e.shards)
+	L := e.lookahead
+	w := start
+	var sense int32
+	for {
+		sh.deliverWindow(w)
+		if n > 1 {
+			// Delivery reads other shards' outboxes; processing writes
+			// them. The barrier keeps the two phases apart.
+			e.barrier.wait(&sense)
+		}
+		sh.processWindow(w + L)
+		var next int64
+		if n == 1 {
+			next = sh.localNext()
+		} else {
+			e.nexts[int(sh.id)*nextsStride] = sh.localNext()
+			e.barrier.wait(&sense)
+			next = noEvent
+			for i := 0; i < n; i++ {
+				if v := e.nexts[i*nextsStride]; v < next {
+					next = v
+				}
+			}
+		}
+		if next == noEvent {
+			return
+		}
+		// Skip empty windows: jump straight to the grid point at or below
+		// the globally earliest pending cycle.
+		w = start + (next-start)/L*L
+	}
+}
+
+// nextsStride spaces the per-shard next-event slots a cache line apart.
+const nextsStride = 8
+
+// dispatch executes one popped event against the shard's components.
+func (sh *shard) dispatch(ev *event) {
+	e := sh.eng
+	now := sh.now
+	switch ev.kind {
+	case evSMStep:
+		s := e.sms[ev.sm]
+		if s.stepScheduledAt == now {
+			s.step(now)
+		}
+	case evGroupArrive:
+		if ev.g.gen == ev.gen {
+			ev.g.arrive(now, e.sms[ev.sm])
+		}
+	case evL2Access:
+		sh.l2Access(ev.sm, e.chans[ev.ch], ev.blk, now, ev.write)
+	case evSMReceive:
+		sh.smReceive(e.sms[ev.sm], ev.blk, now)
+	case evDRAMComplete:
+		sh.dramComplete(e.chans[ev.ch], ev.blk, ev.write, now)
+	case evDRAMPump:
+		c := e.chans[ev.ch]
+		if c.pumpAt == now {
+			c.pumpAt = -1
+			sh.pumpDRAM(c, now)
+		}
+	case evCTADispatch:
+		sh.dispatchCTA(ev.sm, now)
+	case evCTAInstall:
+		s := e.sms[ev.sm]
+		sh.liveDelta += e.installCTA(s, int(ev.cta), now)
+		sh.wakeSM(s, now)
+	case evInject:
+		if fn := e.injectFns[ev.sm]; fn != nil {
+			e.injectFns[ev.sm] = nil
+			e.injectLive--
+			fn(now)
+		}
+	}
+}
+
+// takeGroup pops a copy-group from the shard pool (or grows it),
+// initializing the tracking fields. The generation survives from the
+// pooled object so outstanding references from a previous life stay
+// invalid.
+func (sh *shard) takeGroup(op *loadOp, total, needed int, protected bool) *copyGroup {
+	var g *copyGroup
+	if n := len(sh.groupPool); n > 0 {
+		g = sh.groupPool[n-1]
+		sh.groupPool = sh.groupPool[:n-1]
+	} else {
+		g = &copyGroup{}
+	}
+	g.op = op
+	g.total = total
+	g.needed = needed
+	g.arrived = 0
+	g.protected = protected
+	g.doneSent = false
+	return g
+}
+
+// releaseGroup recycles a fully arrived copy-group, bumping its generation
+// so any stale reference (event or MSHR waiter) is recognizably dead.
+func (sh *shard) releaseGroup(g *copyGroup) {
+	g.gen++
+	g.op = nil
+	sh.groupPool = append(sh.groupPool, g)
+}
+
+// takeLoadOp pops a load-op from the shard pool (or grows it).
+func (sh *shard) takeLoadOp(w *warpState, s *smState, remaining int) *loadOp {
+	var op *loadOp
+	if n := len(sh.loadPool); n > 0 {
+		op = sh.loadPool[n-1]
+		sh.loadPool = sh.loadPool[:n-1]
+	} else {
+		op = &loadOp{}
+	}
+	op.warp = w
+	op.sm = s
+	op.remaining = remaining
+	return op
+}
+
+// releaseLoadOp recycles a completed load-op. Copy-groups that already
+// consumed their blockDone never touch the op again (doneSent), so the
+// object is safe to reuse immediately.
+func (sh *shard) releaseLoadOp(op *loadOp) {
+	op.warp = nil
+	op.sm = nil
+	sh.loadPool = append(sh.loadPool, op)
+}
+
+// warpRetired accounts a warp's retirement; a fully retired CTA frees its
+// slot and asks the dispatcher for a replacement over the message fabric.
+func (sh *shard) warpRetired(s *smState, w *warpState) {
+	e := sh.eng
+	sh.liveDelta--
+	e.ctaLiveWarps[w.cta]--
+	if e.ctaLiveWarps[w.cta] > 0 {
+		return
+	}
+	s.residentCTAs--
+	// Drop the CTA's warps from the resident set.
+	kept := s.warps[:0]
+	for _, rw := range s.warps {
+		if rw.cta != w.cta {
+			kept = append(kept, rw)
+		}
+	}
+	s.warps = kept
+	s.lastIssued = -1
+	// One request per freed slot; the dispatcher answers with at most one
+	// grant, so residency is conserved and requests are bounded by the
+	// kernel's CTA count.
+	sh.sendMsg(e.dispShard, message{
+		sendAt: sh.now, due: sh.now + e.lookahead, srcKey: int32(s.id), kind: msgCTAReq, sm: int32(s.id),
+	})
+}
+
+// dispatchCTA is the dispatcher's half of CTA refill: pop queued CTAs,
+// skip ones with no live warps, grant the first real one to the asking SM.
+func (sh *shard) dispatchCTA(sm int32, now int64) {
+	e := sh.eng
+	for e.ctaHead < len(e.ctaQueue) {
+		cta := e.ctaQueue[e.ctaHead]
+		e.ctaHead++
+		if e.ctaLiveCount(cta) == 0 {
+			continue
+		}
+		sh.sendMsg(e.smOwner[sm], message{
+			sendAt: now, due: now + e.lookahead, srcKey: e.dispKey, kind: msgCTAGrant, sm: sm, cta: int32(cta),
+		})
+		return
+	}
+}
+
+// scheduleStep arranges for the SM's issue loop to run at cycle at,
+// deduplicating against an already-pending earlier step.
+func (sh *shard) scheduleStep(s *smState, at int64) {
+	if at < sh.now {
+		at = sh.now
+	}
+	if s.stepScheduledAt >= 0 && s.stepScheduledAt <= at {
+		return
+	}
+	s.stepScheduledAt = at
+	// The event only acts when it is still the SM's current step marker:
+	// superseded (stale) events die silently, which keeps the event count
+	// linear in useful work. The marker always names exactly one live
+	// event, so no wake-up is ever lost.
+	sh.post(at, event{kind: evSMStep, sm: int32(s.id)})
+}
+
+// wakeSM nudges the SM's issue loop at the current cycle, unblocking any
+// warps parked on a structural stall (MSHR or compare buffer full): wake
+// moments are exactly the resource-release moments.
+func (sh *shard) wakeSM(s *smState, now int64) {
+	for _, w := range s.warps {
+		if w.readyAt >= stallParked {
+			w.readyAt = now
+		}
+	}
+	sh.scheduleStep(s, now)
+}
+
+// issueLoad issues (or resumes) a load instruction's coalesced transactions
+// at cycle t. It charges one LD/ST port cycle per transaction, including
+// replica-copy transactions.
+func (sh *shard) issueLoad(s *smState, w *warpState, in *simt.Instr, t int64) {
+	e := sh.eng
+	if w.curLoad == nil {
+		w.pendingLoads++
+		w.curLoad = sh.takeLoadOp(w, s, len(in.Blocks))
+		s.instructions++
+	}
+	op := w.curLoad
+	used := int64(0)
+	for w.txIndex < len(in.Blocks) {
+		blk := in.Blocks[w.txIndex]
+		at := t + used
+		copies := 1
+		if e.plan != nil {
+			copies = e.plan.Copies(in.PC, in.BufID)
+		}
+
+		if s.l1.Probe(blk) {
+			// L1 hit: normal operation, no replication (Section IV-B1).
+			s.l1.Read(blk)
+			g := sh.takeGroup(op, 1, 1, false)
+			sh.post(at+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
+			used++
+			w.txIndex++
+			continue
+		}
+
+		// L1 miss: count the misses we are about to take (primary plus any
+		// replica copies not resident) and check structural resources.
+		missing := 1
+		for c := 1; c < copies; c++ {
+			if !s.l1.Probe(e.plan.ReplicaBlock(in.BufID, blk, c)) {
+				missing++
+			}
+		}
+		if copies > 1 && s.compareInUse >= e.CompareBufferSize {
+			sh.cmpStalls++
+			sh.stallRetry(s, w, t, used)
+			return
+		}
+		if s.mshr.Capacity()-s.mshr.InUse() < missing {
+			sh.mshrStalls++
+			sh.stallRetry(s, w, t, used)
+			return
+		}
+
+		needed := copies
+		if copies == 1 || (e.plan != nil && e.plan.Lazy()) {
+			needed = 1
+		}
+		g := sh.takeGroup(op, copies, needed, copies > 1)
+		if g.protected {
+			s.compareInUse++
+			sh.copyTx += uint64(copies - 1)
+		}
+		for c := 0; c < copies; c++ {
+			cb := blk
+			if c > 0 {
+				cb = e.plan.ReplicaBlock(in.BufID, blk, c)
+			}
+			txAt := t + used
+			used++ // each copy transaction consumes an LD/ST port cycle
+			if s.l1.Read(cb) {
+				// This copy is resident in L1.
+				sh.post(txAt+int64(e.cfg.L1HitLatency), event{kind: evGroupArrive, g: g, gen: g.gen, sm: int32(s.id)})
+				continue
+			}
+			if e.TrackBlockMisses {
+				if sh.blockMisses == nil {
+					sh.blockMisses = make(map[arch.BlockAddr]uint64)
+				}
+				sh.blockMisses[cb]++
+			}
+			switch s.mshr.Allocate(cb, groupRef{g: g, gen: g.gen}) {
+			case cache.MSHRNew:
+				sh.sendToL2(s, cb, txAt, false)
+			case cache.MSHRMerged:
+				// An earlier miss to this block is in flight; we ride it.
+			case cache.MSHRFull:
+				// Cannot happen: headroom was checked above.
+			}
+		}
+		w.txIndex++
+	}
+	s.portFreeAt = t + maxI64(used, 1)
+	w.readyAt = s.portFreeAt
+	w.curLoad = nil
+	s.finishInstr(w)
+}
+
+// stallRetry charges the port for the work done so far and parks the warp
+// until a resource-release wake (wakeSM) clears the sentinel. A structural
+// stall implies outstanding fills, so a wake always follows — polling on a
+// timer would multiply events without making progress.
+func (sh *shard) stallRetry(s *smState, w *warpState, t, used int64) {
+	s.portFreeAt = t + maxI64(used, 1)
+	w.readyAt = stallParked
+}
+
+// issueStore forwards a store's transactions write-through to L2, returning
+// the port cycles consumed.
+func (sh *shard) issueStore(s *smState, in *simt.Instr, t int64) int64 {
+	for i, blk := range in.Blocks {
+		s.l1.Write(blk)
+		sh.sendToL2(s, blk, t+int64(i), true)
+	}
+	return int64(len(in.Blocks))
+}
+
+// sendToL2 serializes a request on the SM's inject port and mails it to
+// the owning channel domain; the ingress hop happens at delivery.
+func (sh *shard) sendToL2(s *smState, blk arch.BlockAddr, t int64, write bool) {
+	e := sh.eng
+	ch := int32(e.cfg.ChannelOf(blk))
+	s.requests++
+	due := s.inject.send(t)
+	sh.sendMsg(e.chOwner[ch], message{
+		sendAt: t, due: due, srcKey: int32(s.id), kind: msgReq, sm: int32(s.id), ch: ch, blk: blk, write: write,
+	})
+}
+
+// l2Access performs the bank lookup, serialized on the bank port.
+func (sh *shard) l2Access(smID int32, c *chanState, blk arch.BlockAddr, now int64, write bool) {
+	e := sh.eng
+	st := now
+	if c.portFreeAt > st {
+		st = c.portFreeAt
+	}
+	c.portFreeAt = st + 1
+	hitLat := int64(e.cfg.L2HitLatency)
+
+	if write {
+		if e.OnStore != nil {
+			e.OnStore(blk, st)
+		}
+		if !c.l2.Write(blk) {
+			// No-write-allocate: miss goes to DRAM.
+			c.dram.Enqueue(dram.Request{Block: blk, Write: true}, st+hitLat)
+			sh.pumpDRAM(c, st+hitLat)
+		}
+		return
+	}
+
+	if c.l2.Read(blk) {
+		sh.respond(c, smID, blk, st+hitLat)
+		return
+	}
+	// Miss: merge on an outstanding fill if one exists.
+	if c.addWaiter(blk, smID) {
+		return
+	}
+	c.dram.Enqueue(dram.Request{Block: blk}, st+hitLat)
+	sh.pumpDRAM(c, st+hitLat)
+}
+
+// respond serializes a fill on the channel's egress port and mails it to
+// the owning SM domain; the eject hop happens at delivery.
+func (sh *shard) respond(c *chanState, smID int32, blk arch.BlockAddr, t int64) {
+	c.responses++
+	due := c.egress.send(t)
+	sh.sendMsg(sh.eng.smOwner[smID], message{
+		sendAt: t, due: due, srcKey: int32(sh.eng.cfg.NumSMs) + c.id, kind: msgResp, sm: smID, blk: blk,
+	})
+}
+
+// smReceive fills L1 and completes every waiter of the returned block.
+func (sh *shard) smReceive(s *smState, blk arch.BlockAddr, now int64) {
+	s.l1.Fill(blk)
+	for _, ref := range s.mshr.Complete(blk) {
+		if ref.g.gen == ref.gen {
+			ref.g.arrive(now, s)
+		}
+	}
+	// The MSHR entry just freed may unblock a parked warp even if no load
+	// completed.
+	sh.wakeSM(s, now)
+}
+
+// pumpDRAM advances the channel's controller and schedules completions and
+// the next scheduling opportunity.
+func (sh *shard) pumpDRAM(c *chanState, now int64) {
+	c.scratch = c.dram.AdvanceAppend(c.scratch[:0], now)
+	for _, comp := range c.scratch {
+		sh.post(comp.At, event{kind: evDRAMComplete, ch: c.id, blk: comp.Req.Block, write: comp.Req.Write})
+	}
+	if c.dram.QueueLen() == 0 {
+		return
+	}
+	next := c.dram.NextStartTime()
+	if next <= now {
+		next = now + 1
+	}
+	if c.pumpAt >= 0 && c.pumpAt <= next {
+		return
+	}
+	c.pumpAt = next
+	sh.post(next, event{kind: evDRAMPump, ch: c.id})
+}
+
+// dramComplete fills L2 and fans the data out to waiting SMs.
+func (sh *shard) dramComplete(c *chanState, blk arch.BlockAddr, write bool, now int64) {
+	defer sh.pumpDRAM(c, now)
+	if write {
+		return
+	}
+	if ev, had := c.l2.Fill(blk); had && ev.Dirty {
+		// Dirty victim: write back to DRAM.
+		c.dram.Enqueue(dram.Request{Block: ev.Block, Write: true}, now)
+	}
+	for _, smID := range c.takeWaiters(blk) {
+		sh.respond(c, smID, blk, now)
+	}
+}

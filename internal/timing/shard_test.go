@@ -1,0 +1,179 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+	"github.com/datacentric-gpu/dcrm/internal/simt"
+)
+
+// shardCounts are the shard settings the determinism contract is pinned
+// at: the serial reference, powers of two through the CI gate's range, and
+// the per-SM maximum (one shard per SM domain).
+var shardCounts = []int{1, 2, 3, 4, 8, 15}
+
+// TestShardCountInvariance is the package-level half of the determinism
+// contract (the experiments package pins it again over the full workload
+// suite): a replay's KernelStats must be byte-identical at every shard
+// count, for the baseline and both protection schemes.
+func TestShardCountInvariance(t *testing.T) {
+	tr := steadyTrace()
+	cases := []struct {
+		name string
+		plan ProtectionPlan
+	}{
+		{"baseline", nil},
+		{"duplication-lazy", testPlan{copies: 2, lazy: true, offset: 1 << 20}},
+		{"triplication", testPlan{copies: 3, lazy: false, offset: 1 << 20}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref KernelStats
+			for i, n := range shardCounts {
+				e, err := New(arch.Default(), tc.plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Shards = n
+				ks, err := e.RunKernel(tr)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				if i == 0 {
+					ref = ks
+					continue
+				}
+				if ks != ref {
+					t.Errorf("shards=%d: stats diverge from serial reference:\n got %+v\nwant %+v", n, ks, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountInvarianceAcrossKernels replays several kernels
+// back-to-back on one engine (L2/DRAM state carries across boundaries, as
+// in RunApp) and requires identical per-kernel stats at every shard count
+// — including when the shard count changes between kernels of one engine.
+func TestShardCountInvarianceAcrossKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	var traces []*simt.KernelTrace
+	for k := 0; k < 3; k++ {
+		var warps [][]simt.Instr
+		for w := 0; w < 24; w++ {
+			var is []simt.Instr
+			for i := 0; i < 20; i++ {
+				is = append(is, load(1, 0, arch.BlockAddr(rng.Intn(1<<12))), compute(int32(1+rng.Intn(3))))
+			}
+			is = append(is, store(2, 1, arch.BlockAddr(1<<14+w)))
+			warps = append(warps, is)
+		}
+		traces = append(traces, mkTrace(3, warps...))
+	}
+
+	runAll := func(shards []int) []KernelStats {
+		e, err := New(arch.Default(), testPlan{copies: 2, lazy: true, offset: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []KernelStats
+		for i, tr := range traces {
+			e.Shards = shards[i%len(shards)]
+			ks, err := e.RunKernel(tr)
+			if err != nil {
+				t.Fatalf("shards=%d kernel %d: %v", e.Shards, i, err)
+			}
+			out = append(out, ks)
+		}
+		return out
+	}
+
+	ref := runAll([]int{1})
+	for _, n := range shardCounts[1:] {
+		got := runAll([]int{n})
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("shards=%d kernel %d: stats diverge:\n got %+v\nwant %+v", n, i, got[i], ref[i])
+			}
+		}
+	}
+	// Shard count changing mid-application must not change results either.
+	mixed := runAll([]int{1, 4, 2})
+	for i := range ref {
+		if mixed[i] != ref[i] {
+			t.Errorf("mixed shards kernel %d: stats diverge:\n got %+v\nwant %+v", i, mixed[i], ref[i])
+		}
+	}
+}
+
+// TestShardsClampedAndSerialForced: out-of-range Shards values resolve to
+// valid shard counts, and attaching an OnStore observer pins the replay to
+// the serial path without changing results.
+func TestShardsClampedAndSerialForced(t *testing.T) {
+	tr := steadyTrace()
+	ref := run(t, nil, tr)
+
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Shards = 1000 // clamps to NumSMs
+	ks, err := e.RunKernel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.shards) != arch.Default().NumSMs {
+		t.Errorf("shards built = %d, want clamp to %d", len(e.shards), arch.Default().NumSMs)
+	}
+	if ks != ref {
+		t.Errorf("clamped replay diverges from reference")
+	}
+
+	hooked, err := New(arch.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked.Shards = 8
+	stores := 0
+	hooked.OnStore = func(arch.BlockAddr, int64) { stores++ }
+	ks, err = hooked.RunKernel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked.shards) != 1 {
+		t.Errorf("OnStore replay used %d shards, want forced serial", len(hooked.shards))
+	}
+	if stores == 0 {
+		t.Error("OnStore observer never fired")
+	}
+	if ks != ref {
+		t.Errorf("observed replay diverges from reference")
+	}
+}
+
+// runShardedBenchmark is runSteadyBenchmark at an explicit shard count.
+func runShardedBenchmark(b *testing.B, shards int) {
+	e, err := New(arch.Default(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Shards = shards
+	tr := steadyTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunKernel(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunKernelShards measures single-replay throughput scaling
+// across shard counts; bench_compare.sh gates the 4-shard speedup on
+// hosts with at least four cores.
+func BenchmarkRunKernelShards(b *testing.B) {
+	b.Run("1", func(b *testing.B) { runShardedBenchmark(b, 1) })
+	b.Run("2", func(b *testing.B) { runShardedBenchmark(b, 2) })
+	b.Run("4", func(b *testing.B) { runShardedBenchmark(b, 4) })
+}

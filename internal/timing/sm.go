@@ -60,8 +60,8 @@ func (op *loadOp) blockDone(now int64) {
 	if op.remaining == 0 {
 		op.warp.pendingLoads--
 		s := op.sm
-		s.engine.releaseLoadOp(op)
-		s.engine.wakeSM(s, now)
+		s.sh.releaseLoadOp(op)
+		s.sh.wakeSM(s, now)
 	}
 }
 
@@ -92,18 +92,30 @@ func (g *copyGroup) arrive(now int64, s *smState) {
 		if g.protected {
 			// Comparison (or majority vote) performed; release the entry.
 			s.compareInUse--
-			s.engine.wakeSM(s, now)
+			s.sh.wakeSM(s, now)
 		}
-		s.engine.releaseGroup(g)
+		s.sh.releaseGroup(g)
 	}
 }
 
-// smState is one streaming multiprocessor.
+// smState is one streaming multiprocessor: one component domain of the
+// sharded replay. sh is the shard that owns it for the current replay —
+// every event the SM schedules and every pooled object it takes goes
+// through its shard; engine-wide knobs (Policy, plan, config) stay on the
+// engine.
 type smState struct {
 	id     int
 	engine *Engine
+	sh     *shard
 	l1     *cache.Cache
 	mshr   *cache.MSHR[groupRef]
+
+	// inject serializes requests leaving the SM toward the NoC; eject
+	// serializes responses arriving from it. Both are owned by the SM's
+	// shard (inject is touched on the send side, eject on the canonical
+	// delivery side, both within the owner's deterministic event order).
+	inject nocPort
+	eject  nocPort
 
 	warps        []*warpState
 	lastIssued   int // index into warps, -1 initially
@@ -114,6 +126,7 @@ type smState struct {
 
 	stepScheduledAt int64 // -1 when no step event pending
 	instructions    uint64
+	requests        uint64 // NoC request traversals (KernelStats.NoC)
 }
 
 // pickWarp selects the next warp to issue at cycle t under the configured
@@ -187,13 +200,13 @@ func (s *smState) nextWake(t int64) int64 {
 func (s *smState) step(t int64) {
 	s.stepScheduledAt = -1
 	if s.portFreeAt > t {
-		s.engine.scheduleStep(s, s.portFreeAt)
+		s.sh.scheduleStep(s, s.portFreeAt)
 		return
 	}
 	w := s.pickWarp(t)
 	if w == nil {
 		if next := s.nextWake(t); next >= 0 {
-			s.engine.scheduleStep(s, next)
+			s.sh.scheduleStep(s, next)
 		}
 		return
 	}
@@ -203,7 +216,7 @@ func (s *smState) step(t int64) {
 	if next <= t {
 		next = t + 1
 	}
-	s.engine.scheduleStep(s, next)
+	s.sh.scheduleStep(s, next)
 }
 
 // execute issues one instruction (or resumes a partially issued one).
@@ -220,13 +233,13 @@ func (s *smState) execute(w *warpState, t int64) {
 		s.instructions++
 		s.finishInstr(w)
 	case simt.InstrStore:
-		cycles := s.engine.issueStore(s, in, t)
+		cycles := s.sh.issueStore(s, in, t)
 		s.portFreeAt = t + cycles
 		w.readyAt = t + cycles
 		s.instructions++
 		s.finishInstr(w)
 	case simt.InstrLoad:
-		s.engine.issueLoad(s, w, in, t)
+		s.sh.issueLoad(s, w, in, t)
 	}
 }
 
@@ -237,6 +250,6 @@ func (s *smState) finishInstr(w *warpState) {
 	w.txIndex = 0
 	if w.pc >= len(w.trace) {
 		w.retired = true
-		s.engine.warpRetired(s, w)
+		s.sh.warpRetired(s, w)
 	}
 }

@@ -44,21 +44,21 @@ func (e *Engine) publishMetrics(ks KernelStats) {
 	l2Reads := r.CounterVec("dcrm_l2_reads_total", "L2 read lookups, per bank.", "bank")
 	l2Misses := r.CounterVec("dcrm_l2_read_misses_total", "L2 read misses, per bank.", "bank")
 	l2Writebacks := r.CounterVec("dcrm_l2_dirty_evictions_total", "L2 dirty-line write-backs, per bank.", "bank")
-	for ch, b := range e.banks {
+	for ch, c := range e.chans {
 		id := strconv.Itoa(ch)
-		l2Reads.With(id).Add(b.c.Stats.Reads)
-		l2Misses.With(id).Add(b.c.Stats.ReadMisses)
-		l2Writebacks.With(id).Add(b.c.Stats.DirtyEvictions)
+		l2Reads.With(id).Add(c.l2.Stats.Reads)
+		l2Misses.With(id).Add(c.l2.Stats.ReadMisses)
+		l2Writebacks.With(id).Add(c.l2.Stats.DirtyEvictions)
 	}
 
 	served := r.CounterVec("dcrm_dram_requests_total", "DRAM requests served, per channel.", "channel")
 	rowHits := r.CounterVec("dcrm_dram_row_hits_total", "DRAM row-buffer hits, per channel.", "channel")
 	latency := r.CounterVec("dcrm_dram_latency_cycles_total", "Summed DRAM request latency in core cycles, per channel.", "channel")
-	for ch, d := range e.drams {
+	for ch, c := range e.chans {
 		id := strconv.Itoa(ch)
-		served.With(id).Add(d.Stats.Served)
-		rowHits.With(id).Add(d.Stats.RowHits)
-		latency.With(id).Add(d.Stats.TotalLatency)
+		served.With(id).Add(c.dram.Stats.Served)
+		rowHits.With(id).Add(c.dram.Stats.RowHits)
+		latency.With(id).Add(c.dram.Stats.TotalLatency)
 	}
 
 	r.Counter("dcrm_noc_requests_total", "Crossbar request traversals.").Add(ks.NoC.Requests)
@@ -78,7 +78,7 @@ func (e *Engine) publishTrace(ks KernelStats, start int64) {
 		}
 		tr.NameProcess(tracePidL2, "L2 banks")
 		tr.NameProcess(tracePidDRAM, "DRAM channels")
-		for ch := range e.banks {
+		for ch := range e.chans {
 			tr.NameThread(tracePidL2, ch, "L2 bank "+strconv.Itoa(ch))
 			tr.NameThread(tracePidDRAM, ch, "DRAM ch "+strconv.Itoa(ch))
 		}
@@ -94,21 +94,21 @@ func (e *Engine) publishTrace(ks KernelStats, start int64) {
 			"l1_read_misses": s.l1.Stats.ReadMisses,
 		})
 	}
-	for ch, b := range e.banks {
+	for ch, c := range e.chans {
 		tr.Span(tracePidL2, ch, ks.Kernel, start, dur, map[string]any{
-			"reads":           b.c.Stats.Reads,
-			"read_misses":     b.c.Stats.ReadMisses,
-			"dirty_evictions": b.c.Stats.DirtyEvictions,
+			"reads":           c.l2.Stats.Reads,
+			"read_misses":     c.l2.Stats.ReadMisses,
+			"dirty_evictions": c.l2.Stats.DirtyEvictions,
 		})
 	}
-	for ch, d := range e.drams {
+	for ch, c := range e.chans {
 		tr.Span(tracePidDRAM, ch, ks.Kernel, start, dur, map[string]any{
-			"served":     d.Stats.Served,
-			"row_hits":   d.Stats.RowHits,
-			"row_misses": d.Stats.RowMisses,
+			"served":     c.dram.Stats.Served,
+			"row_hits":   c.dram.Stats.RowHits,
+			"row_misses": c.dram.Stats.RowMisses,
 		})
 		tr.CounterEvent(tracePidDRAM, "dram_ch"+strconv.Itoa(ch)+"_served", start+dur, map[string]float64{
-			"served": float64(d.Stats.Served),
+			"served": float64(c.dram.Stats.Served),
 		})
 	}
 }
