@@ -6,6 +6,7 @@
 //
 //	faultinject [-runs 1000] [-apps P-BICG,A-Laplacian] [-seed 7] [-workers 0] [-batch 0]
 //	            [-quiet] [-model spec[;spec...]] [-breakdown] [-csv dir] [-store-dir dir]
+//	            [-prewarm] [-metrics-out metrics.txt]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Campaign progress (completed configurations, elapsed time, ETA) is
@@ -17,6 +18,14 @@
 // -batch bounds how many runs a campaign claim classifies per functional
 // replay (0 = auto, 1 = unbatched); it only changes speed, never results.
 //
+// -prewarm builds the experiment's checkpoint artifacts (goldens, batched-
+// replay captures, store timelines) in parallel before the campaigns start;
+// with -store-dir they persist, so a second invocation fetches them from
+// disk instead of recomputing. -metrics-out writes a Prometheus snapshot of
+// the process's internal telemetry (including the
+// dcrm_artifact_{requests,computed}_total counters that prove a warm start
+// recomputed nothing) at exit.
+//
 // -model selects the fault models swept, as semicolon-separated registry
 // specs ("stuck-at:bits=3,blocks=1;transient:flips=2"); see
 // docs/FAULT-MODELS.md for the catalog. -breakdown switches from the
@@ -26,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +46,7 @@ import (
 	"github.com/datacentric-gpu/dcrm/internal/experiments"
 	"github.com/datacentric-gpu/dcrm/internal/fault"
 	"github.com/datacentric-gpu/dcrm/internal/store"
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
 	"github.com/datacentric-gpu/dcrm/internal/version"
 )
 
@@ -57,6 +68,8 @@ func run() error {
 	breakdown := flag.Bool("breakdown", false, "run the fault-model × scheme outcome breakdown instead of Fig. 6")
 	csvDir := flag.String("csv", "", "also export the result cells as CSV into this directory (created if missing)")
 	storeDir := flag.String("store-dir", "", "persist results to this content-addressed store directory (created if missing); repeat runs warm-start from it")
+	prewarm := flag.Bool("prewarm", false, "build the experiment's checkpoint artifacts (goldens, captures, timelines) in parallel before the campaigns; results are identical either way")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus snapshot of internal telemetry to this file at exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (go tool pprof) to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -88,8 +101,13 @@ func run() error {
 		Batch:    *batch,
 		Progress: experiments.Progress(*quiet, os.Stderr),
 	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		scfg.Telemetry = reg
+	}
 	if *storeDir != "" {
-		st, err := store.Open(store.Config{Dir: *storeDir})
+		st, err := store.Open(store.Config{Dir: *storeDir, Telemetry: reg})
 		if err != nil {
 			return err
 		}
@@ -99,19 +117,55 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *metricsOut != "" {
+		defer func() {
+			if werr := writeMetrics(*metricsOut, reg); werr != nil {
+				fmt.Fprintln(os.Stderr, "faultinject: metrics-out:", werr)
+			}
+		}()
+	}
 	var appList []string
 	if *apps != "" {
 		appList = strings.Split(*apps, ",")
 	}
 
 	if *breakdown {
-		return runBreakdown(suite, experiments.BreakdownConfig{
+		bcfg := experiments.BreakdownConfig{
 			Runs: *runs, Seed: *seed, Models: models, Apps: appList,
-		}, *csvDir)
+		}
+		if *prewarm {
+			specs, err := suite.BreakdownPrewarmSpecs(bcfg)
+			if err != nil {
+				return err
+			}
+			if err := suite.Prewarm(context.Background(), specs); err != nil {
+				return err
+			}
+		}
+		return runBreakdown(suite, bcfg, *csvDir)
 	}
-	return runFig6(suite, experiments.Fig6Config{
+	fcfg := experiments.Fig6Config{
 		Runs: *runs, Seed: *seed, Models: models, Apps: appList,
-	}, *csvDir)
+	}
+	if *prewarm {
+		if err := suite.Prewarm(context.Background(), suite.Fig6PrewarmSpecs(fcfg)); err != nil {
+			return err
+		}
+	}
+	return runFig6(suite, fcfg, *csvDir)
+}
+
+// writeMetrics snapshots the telemetry registry in Prometheus text format.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // startProfiling starts a CPU profile and arranges a heap profile snapshot,

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/core"
+	"github.com/datacentric-gpu/dcrm/internal/fault"
+)
+
+// maxCampaignAllocsPerRun is the steady-state allocation budget for one
+// campaign run on a warm checkpoint. With the injection scratch pooled and
+// per-run rngs reseeded in place, a run costs under 4 heap allocations;
+// the pre-pooling path cost ~7 (the committed BENCH_campaign baseline was
+// 713 allocs per 100-run Fig. 6 campaign). The bound leaves headroom for
+// runtime noise while still failing loudly if a hot-path allocation
+// regresses back in.
+const maxCampaignAllocsPerRun = 5.0
+
+// TestCampaignAllocRegression gates the campaign hot path's per-run heap
+// allocations, on both the unbatched and the batched executor.
+func TestCampaignAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns in -short mode")
+	}
+	s := testSuite(t)
+	cp, err := s.Checkpoint("P-BICG", core.None, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Golden(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cp.MissSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := fault.StuckAt{BitsPerWord: 2, Blocks: 1}
+	const runs = 200
+	for _, batch := range []int{1, 8} {
+		var rerr error
+		allocs := testing.AllocsPerRun(5, func() {
+			res, err := cp.Campaign(fault.Campaign{Runs: runs, Seed: 7, Workers: 1, Batch: batch}, model, sel)
+			if err != nil {
+				rerr = err
+			}
+			if res.Runs != runs {
+				rerr = err
+			}
+		})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if perRun := allocs / runs; perRun > maxCampaignAllocsPerRun {
+			t.Errorf("batch=%d campaign allocates %.2f per run, budget %.1f", batch, perRun, maxCampaignAllocsPerRun)
+		}
+	}
+}

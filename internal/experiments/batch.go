@@ -50,61 +50,83 @@ type captureData struct {
 	bufs []*mem.Buffer
 }
 
-// ensureCapture records the reference execution once per checkpoint and
-// returns nil when the batched replay cannot be used (recording failed or
-// exceeded maxCaptureBytes) — callers then fall back to full per-lane
-// execution.
+// ensureCapture materializes the capture artifact once per checkpoint —
+// recording the reference execution, or fetching the recorded warps from
+// the store — and returns nil when the batched replay cannot be used
+// (recording failed or exceeded maxCaptureBytes; the artifact caches that
+// verdict too) — callers then fall back to full per-lane execution.
 func (cp *Checkpoint) ensureCapture() *captureData {
 	cp.captureOnce.Do(func() {
-		f := cp.App.Mem.Fork()
-		var reader simt.WordReader
-		if cp.Plan != nil {
-			reader = cp.Plan.ForMemory(f)
-		}
-		log, err := cp.App.CaptureRun(f, reader)
+		art, err := artifactDo(cp, ArtifactCapture, func() (captureArtifact, error) {
+			return computeCaptureArtifact(cp), nil
+		})
 		if err != nil {
-			return
+			return // capture is an optimization; fall back rather than fail
 		}
-		// Replica expansion: a load of a protected object invisibly reads
-		// the scheme's copies too. Folding the replica blocks into each
-		// record's footprint makes "all recorded blocks clean" prove the
-		// full read — copies included — resolves to golden data, so a fault
-		// in a replica block routes the warp to real execution where the
-		// detection/correction semantics fire exactly.
-		nblocks := cp.App.Mem.TotalBlocks()
-		seen := simt.NewBlockSet(nblocks)
-		for _, kc := range log.Kernels {
-			for _, wc := range kc.Warps {
-				seen.Reset()
-				union := wc.LoadBlocks[:0]
-				for i := range wc.Loads {
-					rec := &wc.Loads[i]
-					if cp.Plan != nil {
-						if copies := cp.Plan.Copies(0, rec.BufID); copies > 1 {
-							primary := rec.Blocks
-							for c := 1; c < copies; c++ {
-								for _, b := range primary[:len(primary):len(primary)] {
-									rec.Blocks = append(rec.Blocks, cp.Plan.ReplicaBlock(rec.BufID, b, c))
-								}
+		cp.capture = cp.reconstructCapture(art)
+		if cp.capture != nil {
+			cp.addLazyBytes(cp.capture.log.ApproxBytes())
+		}
+	})
+	return cp.capture
+}
+
+// computeCaptureArtifact records the reference execution and pre-expands
+// replica footprints into its load records. A failed or oversized recording
+// yields Ok=false — a persisted "don't bother" verdict.
+func computeCaptureArtifact(cp *Checkpoint) captureArtifact {
+	f := cp.App.Mem.Fork()
+	var reader simt.WordReader
+	if cp.Plan != nil {
+		reader = cp.Plan.ForMemory(f)
+	}
+	log, err := cp.App.CaptureRun(f, reader)
+	if err != nil {
+		return captureArtifact{}
+	}
+	// Replica expansion: a load of a protected object invisibly reads
+	// the scheme's copies too. Folding the replica blocks into each
+	// record's footprint makes "all recorded blocks clean" prove the
+	// full read — copies included — resolves to golden data, so a fault
+	// in a replica block routes the warp to real execution where the
+	// detection/correction semantics fire exactly. Expansion happens here,
+	// before persisting, so decoded artifacts carry it already.
+	nblocks := cp.App.Mem.TotalBlocks()
+	seen := simt.NewBlockSet(nblocks)
+	for _, kc := range log.Kernels {
+		for _, wc := range kc.Warps {
+			seen.Reset()
+			union := wc.LoadBlocks[:0]
+			for i := range wc.Loads {
+				rec := &wc.Loads[i]
+				if cp.Plan != nil {
+					if copies := cp.Plan.Copies(0, rec.BufID); copies > 1 {
+						primary := rec.Blocks
+						for c := 1; c < copies; c++ {
+							for _, b := range primary[:len(primary):len(primary)] {
+								rec.Blocks = append(rec.Blocks, cp.Plan.ReplicaBlock(rec.BufID, b, c))
 							}
 						}
 					}
-					for _, b := range rec.Blocks {
-						if !seen.Has(b) {
-							seen.Add(b)
-							union = append(union, b)
-						}
+				}
+				for _, b := range rec.Blocks {
+					if !seen.Has(b) {
+						seen.Add(b)
+						union = append(union, b)
 					}
 				}
-				wc.LoadBlocks = union
 			}
+			wc.LoadBlocks = union
 		}
-		if log.ApproxBytes() > maxCaptureBytes {
-			return
-		}
-		cp.capture = &captureData{log: log, bufs: cp.App.Mem.Buffers()}
-	})
-	return cp.capture
+	}
+	if log.ApproxBytes() > maxCaptureBytes {
+		return captureArtifact{}
+	}
+	kernels := make([]captureKernelArtifact, len(log.Kernels))
+	for i, kc := range log.Kernels {
+		kernels[i] = captureKernelArtifact{Warps: kc.Warps}
+	}
+	return captureArtifact{Ok: true, Kernels: kernels}
 }
 
 // batchLane is one surviving run of a batched claim: its fork, its
@@ -146,6 +168,8 @@ func (cp *Checkpoint) RunBatch(start int, rngs []*rand.Rand, model fault.Model, 
 		}
 		env.Timeline = tl
 	}
+	env.Scratch = cp.getScratch()
+	defer cp.scratch.Put(env.Scratch)
 
 	outs := make([]fault.Outcome, len(rngs))
 	lanes := make([]*batchLane, 0, len(rngs))

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/datacentric-gpu/dcrm/internal/core"
 	"github.com/datacentric-gpu/dcrm/internal/fault"
@@ -60,6 +61,18 @@ type Checkpoint struct {
 	captureOnce sync.Once
 	capture     *captureData
 
+	// Artifact-cache plumbing (see artifact.go): the owning suite (store +
+	// identity), this configuration's key, the checkpoint's own memory-tier
+	// key (for lazy-footprint re-accounting), and the accounted lazy bytes.
+	suite     *Suite
+	cfgKey    string
+	storeKey  store.Key
+	lazyBytes atomic.Int64
+
+	// scratch pools per-worker fault-injection scratch (fault.Scratch) so
+	// steady-state campaign runs stop allocating selector permutations.
+	scratch sync.Pool
+
 	tele checkpointTelemetry
 }
 
@@ -81,6 +94,12 @@ type checkpointTelemetry struct {
 	fallbackRuns  *telemetry.Counter
 	replayedWarps *telemetry.Counter
 	appliedWarps  *telemetry.Counter
+
+	// Artifact-cache observability: first-use artifact requests per kind vs.
+	// the requests that actually ran the computation — a warm process shows
+	// requests with zero computes (the CI warm-start gate asserts this).
+	artRequests *telemetry.CounterVec
+	artComputed *telemetry.CounterVec
 }
 
 // Checkpoint returns the memoized campaign checkpoint for the named
@@ -107,12 +126,14 @@ func (s *Suite) checkpoint(key string, build func() (*kernels.App, *core.Plan, e
 		reg.Counter("dcrm_checkpoint_requests_total",
 			"Campaign checkpoint lookups (hits = requests - builds).").Inc()
 	}
-	// Checkpoints are live objects (fork pools, lazy goldens) and never
-	// persist; the store's memory tier and singleflight front replace the
-	// old per-suite memo.
-	return store.Do(s.st, s.key("checkpoint").Field("cfg", key).Key(),
+	// Checkpoints stay live objects (fork pools, reattached kernels) and
+	// never persist as a whole; their lazy pieces persist individually as
+	// artifacts (see artifact.go). The memory-tier size starts at the image
+	// and is re-accounted upward as artifacts materialize (UpdateSize).
+	storeKey := s.key("checkpoint").Field("cfg", key).Key()
+	return store.Do(s.st, storeKey,
 		store.Options[*Checkpoint]{Size: func(cp *Checkpoint) int64 {
-			return int64(cp.App.Mem.Size())
+			return cp.footprint()
 		}},
 		func() (*Checkpoint, error) {
 			if reg := s.cfg.Telemetry; reg != nil {
@@ -123,12 +144,15 @@ func (s *Suite) checkpoint(key string, build func() (*kernels.App, *core.Plan, e
 			if err != nil {
 				return nil, err
 			}
-			return s.newCheckpoint(app, plan), nil
+			return s.newCheckpoint(app, plan, key, storeKey), nil
 		})
 }
 
-func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {
-	cp := &Checkpoint{App: app, Plan: plan, simShards: s.cfg.SimShards}
+func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan, cfgKey string, storeKey store.Key) *Checkpoint {
+	cp := &Checkpoint{
+		App: app, Plan: plan, simShards: s.cfg.SimShards,
+		suite: s, cfgKey: cfgKey, storeKey: storeKey,
+	}
 	if reg := s.cfg.Telemetry; reg != nil {
 		cp.tele = checkpointTelemetry{
 			forks: reg.Counter("dcrm_campaign_forks_total",
@@ -154,29 +178,43 @@ func (s *Suite) newCheckpoint(app *kernels.App, plan *core.Plan) *Checkpoint {
 				"Warps executed for real during batched group replay."),
 			appliedWarps: reg.Counter("dcrm_campaign_applied_warps_total",
 				"Warps reproduced by applying recorded golden stores instead of executing."),
+			artRequests: reg.CounterVec("dcrm_artifact_requests_total",
+				"Checkpoint artifact first-use requests by kind.", "kind"),
+			artComputed: reg.CounterVec("dcrm_artifact_computed_total",
+				"Checkpoint artifact requests that ran the computation (misses in both store tiers) by kind.", "kind"),
 		}
 	}
 	return cp
 }
 
-// ensureGolden runs the fault-free golden execution once on a fork of the
-// prepared image and captures the output and post-run state the classifier
-// compares against. Replicas are fault-free here, so the golden run skips
-// the scheme overlay exactly like the legacy Suite.Golden path.
+// ensureGolden materializes the golden artifact once — running the
+// fault-free execution, or fetching its recorded effects from the store —
+// and reconstructs the output and post-run state the classifier compares
+// against. Both paths rebuild the golden-post fork by replaying the
+// artifact's dirty-block delta onto a fresh fork of the prepared image, so
+// a warm start is bit-identical to a cold one.
 func (cp *Checkpoint) ensureGolden() error {
 	cp.goldenOnce.Do(func() {
-		goldenPost := cp.App.Mem.Fork()
-		if err := cp.App.RunOn(goldenPost, nil); err != nil {
-			cp.goldenErr = fmt.Errorf("experiments: %s golden run: %w", cp.App.Name, err)
+		art, err := artifactDo(cp, ArtifactGolden, func() (goldenArtifact, error) {
+			return computeGoldenArtifact(cp)
+		})
+		if err != nil {
+			cp.goldenErr = err
 			return
 		}
-		cp.golden = cp.App.Output(goldenPost)
+		goldenPost := cp.App.Mem.Fork()
+		if err := goldenPost.RestoreBlocks(art.DirtyIdx, art.DirtyData); err != nil {
+			cp.goldenErr = fmt.Errorf("experiments: %s golden restore: %w", cp.App.Name, err)
+			return
+		}
+		cp.golden = art.Output
 		cp.classifier = fault.Classifier{
 			Golden:     cp.golden,
 			GoldenPost: goldenPost,
 			Metric:     cp.App.Metric,
 			DetectErr:  core.ErrFaultDetected,
 		}
+		cp.addLazyBytes(goldenFootprint(art))
 	})
 	return cp.goldenErr
 }
@@ -192,12 +230,39 @@ func (cp *Checkpoint) Golden() ([]float32, error) {
 
 // MissSelector returns the memoized Fig. 8 miss-weighted block selector
 // for the checkpoint's protected instance: one trace capture plus one
-// timing run per checkpoint, shared across fault models and campaigns.
+// timing run per checkpoint — or an artifact fetch when an earlier process
+// already paid for the replay — shared across fault models and campaigns.
+// The selector is rebuilt from the persisted histogram on both paths, and
+// the histogram is shard-count-invariant, so the key carries no shard field.
 func (cp *Checkpoint) MissSelector() (fault.Selector, error) {
 	cp.missOnce.Do(func() {
-		cp.missSel, cp.missErr = MissWeightedSelector(cp.App, cp.Plan, cp.simShards)
+		art, err := artifactDo(cp, ArtifactMissWeights, func() (missArtifact, error) {
+			blocks, weights, err := missWeights(cp.App, cp.Plan, cp.simShards)
+			if err != nil {
+				return missArtifact{}, err
+			}
+			return missArtifact{Blocks: blocks, Weights: weights}, nil
+		})
+		if err != nil {
+			cp.missErr = err
+			return
+		}
+		cp.missSel, cp.missErr = fault.NewWeightedSelector(art.Blocks, art.Weights)
+		if cp.missErr == nil {
+			cp.addLazyBytes(missFootprint(art))
+		}
 	})
 	return cp.missSel, cp.missErr
+}
+
+// getScratch takes per-worker fault-injection scratch from the pool or
+// creates one; return it with cp.scratch.Put. The scratch only buffers
+// draws, so pooling cannot change results.
+func (cp *Checkpoint) getScratch() *fault.Scratch {
+	if sc, ok := cp.scratch.Get().(*fault.Scratch); ok {
+		return sc
+	}
+	return &fault.Scratch{}
 }
 
 // getFork takes a reset fork from the pool or creates one.
@@ -233,6 +298,8 @@ func (cp *Checkpoint) RunOne(rng *rand.Rand, model fault.Model, sel fault.Select
 		}
 		env.Timeline = tl
 	}
+	env.Scratch = cp.getScratch()
+	defer cp.scratch.Put(env.Scratch)
 	f := cp.getFork()
 	defer cp.forks.Put(f)
 	inj, err := fault.Inject(f, rng, model, sel, &env)

@@ -85,9 +85,21 @@ func weightConfig() arch.Config {
 // shards sets the replay's event-scheduler shard count (0 = serial); the
 // histogram is byte-identical at any value.
 func MissWeightedSelector(app *kernels.App, plan *core.Plan, shards int) (fault.Selector, error) {
-	traces, err := app.TraceRun(nil)
+	blocks, weights, err := missWeights(app, plan, shards)
 	if err != nil {
 		return nil, err
+	}
+	return fault.NewWeightedSelector(blocks, weights)
+}
+
+// missWeights is MissWeightedSelector's replay: it returns the selector's
+// raw material — the deterministic block order and the per-block miss
+// counts — in the serializable form the miss-weights checkpoint artifact
+// persists.
+func missWeights(app *kernels.App, plan *core.Plan, shards int) ([]arch.BlockAddr, []float64, error) {
+	traces, err := app.TraceRun(nil)
+	if err != nil {
+		return nil, nil, err
 	}
 	var tplan timing.ProtectionPlan
 	if plan != nil {
@@ -95,16 +107,16 @@ func MissWeightedSelector(app *kernels.App, plan *core.Plan, shards int) (fault.
 	}
 	eng, err := timing.New(weightConfig(), tplan)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	eng.Shards = shards
 	eng.TrackBlockMisses = true
 	if _, err := eng.RunApp(app.Name, traces); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hist := eng.BlockMisses()
 	if len(hist) == 0 {
-		return nil, fmt.Errorf("experiments: %s produced no L1 misses", app.Name)
+		return nil, nil, fmt.Errorf("experiments: %s produced no L1 misses", app.Name)
 	}
 	// Deterministic block order: map iteration order would otherwise make
 	// seeded campaigns irreproducible.
@@ -117,7 +129,7 @@ func MissWeightedSelector(app *kernels.App, plan *core.Plan, shards int) (fault.
 	for _, b := range blocks {
 		weights = append(weights, float64(hist[b]))
 	}
-	return fault.NewWeightedSelector(blocks, weights)
+	return blocks, weights, nil
 }
 
 // fig9Resilience is Fig9Resilience's compute path (store miss): inject

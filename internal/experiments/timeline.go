@@ -14,10 +14,16 @@ import (
 // replay's total span. The transient fault model consults it on every run
 // to decide whether a later store overwrites (masks) the injected flip, so
 // the per-checkpoint cost is one replay — shared by all of the
-// checkpoint's campaigns, like the miss selector's replay.
+// checkpoint's campaigns, like the miss selector's replay — or one store
+// fetch when an earlier process already persisted the timeline artifact.
 func (cp *Checkpoint) Timeline() (*fault.Timeline, error) {
 	cp.timelineOnce.Do(func() {
-		cp.timeline, cp.timelineErr = captureTimeline(cp)
+		cp.timeline, cp.timelineErr = artifactDo(cp, ArtifactTimeline, func() (*fault.Timeline, error) {
+			return captureTimeline(cp)
+		})
+		if cp.timelineErr == nil {
+			cp.addLazyBytes(timelineFootprint(cp.timeline))
+		}
 	})
 	return cp.timeline, cp.timelineErr
 }

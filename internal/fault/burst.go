@@ -81,8 +81,8 @@ func (b Burst) String() string {
 // Inject implements Model. The rng consumption order is fixed per block —
 // anchor word, anchor bit, polarity — so campaigns are reproducible from
 // (seed, run index) at any worker count.
-func (b Burst) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, _ *Env) (Injection, error) {
-	blocks := sel.Select(rng, b.Blocks)
+func (b Burst) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, env *Env) (Injection, error) {
+	blocks := selectBlocks(rng, sel, b.Blocks, env)
 	due := false
 	for _, blk := range blocks {
 		words := targetWords(m, blk)

@@ -195,10 +195,15 @@ func (c Campaign) Execute(run RunFunc) (Result, error) {
 	return c.ExecuteRange(0, c.Runs, run)
 }
 
+// runSeed derives run i's rng seed deterministically from (Seed, i).
+func (c Campaign) runSeed(i int) int64 {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier
+	return c.Seed ^ (int64(i)+1)*mix
+}
+
 // runRNG derives run i's random stream deterministically from (Seed, i).
 func (c Campaign) runRNG(i int) *rand.Rand {
-	const mix = int64(-0x61C8864680B583EB) // golden-ratio multiplier
-	return rand.New(rand.NewSource(c.Seed ^ (int64(i)+1)*mix))
+	return rand.New(rand.NewSource(c.runSeed(i)))
 }
 
 // ExecuteRange runs only the run indices in [start, end) — one shard of
@@ -337,6 +342,11 @@ func (c Campaign) executeRange(start, end, batch int, run BatchRunFunc) (Result,
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			// Each worker owns a pool of batch rngs, reseeded per claim:
+			// (*rand.Rand).Seed resets the source to the exact state a fresh
+			// rand.New(rand.NewSource(seed)) starts in, so reuse changes
+			// nothing about any run's stream while dropping the two
+			// allocations per run the fresh construction paid.
 			rngs := make([]*rand.Rand, 0, batch)
 			for {
 				lo, hi, ok := claim()
@@ -344,11 +354,14 @@ func (c Campaign) executeRange(start, end, batch int, run BatchRunFunc) (Result,
 					wg.Done()
 					return
 				}
-				rngs = rngs[:0]
-				for i := lo; i < hi; i++ {
-					rngs = append(rngs, c.runRNG(i))
+				n := hi - lo
+				for len(rngs) < n {
+					rngs = append(rngs, rand.New(rand.NewSource(0)))
 				}
-				os, err := run(lo, rngs)
+				for i := 0; i < n; i++ {
+					rngs[i].Seed(c.runSeed(lo + i))
+				}
+				os, err := run(lo, rngs[:n])
 				if err == nil && len(os) != hi-lo {
 					err = fmt.Errorf("fault: batch run [%d, %d) returned %d outcomes, want %d",
 						lo, hi, len(os), hi-lo)

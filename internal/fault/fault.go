@@ -79,6 +79,26 @@ func (s *SetSelector) Select(rng *rand.Rand, n int) []arch.BlockAddr {
 	return out
 }
 
+// SelectInto is Select drawing into reusable scratch: identical rng
+// consumption and identical chosen blocks, but the permutation and output
+// buffers come from sc. The returned slice (which may alias the selector's
+// own population when n covers it — callers must not mutate it) is valid
+// only until the next SelectInto with the same scratch.
+func (s *SetSelector) SelectInto(rng *rand.Rand, n int, sc *Scratch) []arch.BlockAddr {
+	if n >= len(s.blocks) {
+		// Full population: Select copies here purely for ownership; the
+		// scratch contract makes the copy unnecessary. No rng draws either way.
+		return s.blocks
+	}
+	idx := permInto(rng, len(s.blocks), &sc.perm)[:n]
+	out := sc.blocks[:0]
+	for _, j := range idx {
+		out = append(out, s.blocks[j])
+	}
+	sc.blocks = out
+	return out
+}
+
 // WeightedSelector selects blocks with probability proportional to a weight
 // (the paper's Fig. 8 methodology: L1-missed access counts, since misses
 // expose data to the L2/DRAM fault domain).
@@ -127,6 +147,38 @@ func (s *WeightedSelector) Select(rng *rand.Rand, n int) []arch.BlockAddr {
 		seen[b] = true
 		out = append(out, b)
 	}
+	return out
+}
+
+// SelectInto is Select drawing into reusable scratch: identical rng
+// consumption (the rejection loop's duplicate verdicts match the map-based
+// path exactly) and identical chosen blocks, with the output buffer reused
+// and the duplicate check done by linear scan — n is a handful of blocks.
+// The returned slice is valid only until the next SelectInto with the same
+// scratch.
+func (s *WeightedSelector) SelectInto(rng *rand.Rand, n int, sc *Scratch) []arch.BlockAddr {
+	if n > len(s.blocks) {
+		n = len(s.blocks)
+	}
+	total := s.cum[len(s.cum)-1]
+	out := sc.blocks[:0]
+	for len(out) < n {
+		x := rng.Float64() * total
+		i := searchCum(s.cum, x)
+		b := s.blocks[i]
+		dup := false
+		for _, p := range out {
+			if p == b {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, b)
+	}
+	sc.blocks = out
 	return out
 }
 

@@ -47,6 +47,11 @@ type Env struct {
 	// When absent, the transient model conservatively treats every flip as
 	// persisting to the end of the run.
 	Timeline *Timeline
+	// Scratch, when non-nil, lets injection paths reuse per-worker buffers
+	// (selector permutations, block lists, bit permutations) instead of
+	// allocating per run. Purely an optimization: results are bit-identical
+	// with or without it.
+	Scratch *Scratch
 }
 
 // Timeline is the per-block store-commit horizon of one timing replay:

@@ -1,0 +1,80 @@
+// Parity tests for the injection-scratch paths: every pooled variant must
+// consume the rng identically to its allocating counterpart, or campaign
+// results would silently change between pooled and unpooled call sites.
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/arch"
+)
+
+func TestRNGReuseParity(t *testing.T) {
+	fresh := rand.New(rand.NewSource(12345))
+	reused := rand.New(rand.NewSource(0))
+	reused.Seed(12345)
+	for i := 0; i < 1000; i++ {
+		if a, b := fresh.Int63(), reused.Int63(); a != b {
+			t.Fatalf("draw %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestPermIntoParity(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	var buf []int
+	for n := 0; n < 40; n++ {
+		pa := a.Perm(n)
+		pb := permInto(b, n, &buf)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("n=%d i=%d: %d != %d", n, i, pa[i], pb[i])
+			}
+		}
+	}
+}
+
+func TestSelectIntoParity(t *testing.T) {
+	blocks := make([]arch.BlockAddr, 100)
+	for i := range blocks {
+		blocks[i] = arch.BlockAddr(i * 3)
+	}
+	ss, _ := NewSetSelector(blocks)
+	ws, _ := NewWeightedSelector(blocks, func() []float64 {
+		w := make([]float64, 100)
+		for i := range w {
+			w[i] = float64(i%7) + 0.5
+		}
+		return w
+	}())
+	var sc Scratch
+	for n := 1; n < 120; n += 7 {
+		a := rand.New(rand.NewSource(int64(n)))
+		b := rand.New(rand.NewSource(int64(n)))
+		pa := ss.Select(a, n)
+		pb := ss.SelectInto(b, n, &sc)
+		if len(pa) != len(pb) {
+			t.Fatalf("set n=%d len %d != %d", n, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("set n=%d i=%d", n, i)
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("set n=%d rng divergence", n)
+		}
+		pa = ws.Select(a, n)
+		pb = ws.SelectInto(b, n, &sc)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("weighted n=%d i=%d", n, i)
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("weighted n=%d rng divergence", n)
+		}
+	}
+}

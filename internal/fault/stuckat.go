@@ -72,14 +72,16 @@ func (s StuckAt) String() string {
 // rng draws in the same order, same set-then-clear overlay writes — so a
 // stuck-at campaign's outcomes are byte-identical to the pre-refactor
 // path (gated by TestCampaignForkParity and TestStuckAtGoldenOutcomes).
-func (s StuckAt) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, _ *Env) (Injection, error) {
-	blocks := sel.Select(rng, s.Blocks)
+// With env scratch the draws route through the pooled equivalents
+// (selectBlocks, perm32), which consume the rng identically.
+func (s StuckAt) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, env *Env) (Injection, error) {
+	blocks := selectBlocks(rng, sel, s.Blocks, env)
 	for _, b := range blocks {
 		words := targetWords(m, b)
 		word := rng.Intn(words)
 		addr := b.Base() + arch.Addr(word*arch.WordBytes)
 		var setMask, clrMask uint32
-		for _, bit := range rng.Perm(32)[:s.BitsPerWord] {
+		for _, bit := range perm32(rng, env)[:s.BitsPerWord] {
 			if rng.Intn(2) == 0 {
 				setMask |= 1 << uint(bit)
 			} else {

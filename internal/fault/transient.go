@@ -92,7 +92,7 @@ func (t Transient) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, env *Env)
 	if env != nil {
 		tl = env.Timeline
 	}
-	blocks := sel.Select(rng, t.Blocks)
+	blocks := selectBlocks(rng, sel, t.Blocks, env)
 	applied := false
 	due := false
 	for _, b := range blocks {
@@ -100,7 +100,7 @@ func (t Transient) Inject(m *mem.Memory, rng *rand.Rand, sel Selector, env *Env)
 		word := rng.Intn(words)
 		addr := b.Base() + arch.Addr(word*arch.WordBytes)
 		var mask uint32
-		for _, bit := range rng.Perm(32)[:t.Flips] {
+		for _, bit := range perm32(rng, env)[:t.Flips] {
 			mask |= 1 << uint(bit)
 		}
 		var at int64

@@ -70,6 +70,41 @@ func (c *lru) put(key string, v any, size int64) (evicted int) {
 	return evicted
 }
 
+// resize re-accounts an already-resident entry without touching its value
+// or recency, evicting from the cold end until the budget holds again. A
+// size above the whole budget removes the entry (mirroring put's admission
+// rule); the resized entry itself is never evicted. Absent keys are a
+// no-op. Returns the number of entries evicted.
+func (c *lru) resize(key string, size int64) (evicted int) {
+	el, ok := c.items[key]
+	if !ok {
+		return 0
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > c.budget {
+		c.evict(el)
+		return 0
+	}
+	e := el.Value.(*lruEntry)
+	c.used += size - e.size
+	e.size = size
+	for c.used > c.budget {
+		cold := c.ll.Back()
+		if cold == nil {
+			break
+		}
+		ce := cold.Value.(*lruEntry)
+		if ce.key == key {
+			break // never evict the entry being re-accounted
+		}
+		c.evict(cold)
+		evicted++
+	}
+	return evicted
+}
+
 // remove drops key if present.
 func (c *lru) remove(key string) {
 	if el, ok := c.items[key]; ok {

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/datacentric-gpu/dcrm/internal/telemetry"
+)
+
+// TestUpdateSizeReaccountsEntries covers the lazy-growth path behind
+// Store.UpdateSize: checkpoints are admitted at their image size, then
+// re-accounted as artifacts materialize, and the LRU budget must respond —
+// evicting colder entries when a resident entry grows, dropping an entry
+// that outgrows the whole budget, and ignoring keys it never admitted.
+func TestUpdateSizeReaccountsEntries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Config{MemBytes: 100, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) Key { return NewKey("t").Field("i", i).Key() }
+	size := func([]byte) int64 { return 30 }
+	mk := func(i int) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte{byte(i)}, nil }
+	}
+	for i := 0; i < 3; i++ { // 3 × 30 B fit the 100 B budget
+		if _, err := Do(s, key(i), Options[[]byte]{Size: size}, mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Growing the hottest entry past the budget evicts from the cold end —
+	// entry 0 — but never the grown entry itself or warmer ones.
+	s.UpdateSize(key(2), 60) // 30 + 30 + 60 = 120 > 100
+	if s.Contains(key(0)) {
+		t.Error("coldest entry still resident after a warmer entry grew past the budget")
+	}
+	if !s.Contains(key(1)) || !s.Contains(key(2)) {
+		t.Error("warm entries evicted by a resize that only needed the coldest")
+	}
+	if got := counterValue(t, reg, "dcrm_store_mem_evictions_total"); got != 1 {
+		t.Errorf("evictions = %v, want 1", got)
+	}
+
+	// Shrinking re-accounts downward: two more 30 B entries now fit without
+	// another eviction.
+	s.UpdateSize(key(2), 10)
+	for i := 3; i < 5; i++ {
+		if _, err := Do(s, key(i), Options[[]byte]{Size: size}, mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if !s.Contains(key(i)) {
+			t.Errorf("entry %d evicted despite fitting after the shrink", i)
+		}
+	}
+
+	// An entry that outgrows the whole budget is dropped, mirroring put's
+	// admission rule.
+	s.UpdateSize(key(2), 1000)
+	if s.Contains(key(2)) {
+		t.Error("entry larger than the whole budget kept resident")
+	}
+
+	// Unknown keys and nil stores are no-ops.
+	s.UpdateSize(NewKey("t").Field("i", "absent").Key(), 50)
+	var nilStore *Store
+	nilStore.UpdateSize(key(1), 50)
+	if !s.Contains(key(1)) {
+		t.Error("no-op UpdateSize calls disturbed resident entries")
+	}
+}

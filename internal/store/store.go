@@ -157,6 +157,27 @@ func (s *Store) memPut(hash string, v any, size int64) {
 	}
 }
 
+// UpdateSize re-accounts the in-memory entry for key — used by live values
+// (checkpoints) whose footprint grows after admission as lazy artifacts
+// materialize, so the byte budget reflects what is actually resident.
+// Eviction pressure is applied immediately; the updated entry itself is
+// never the one evicted. A size above the whole memory budget drops the
+// entry (matching admission). Unknown keys and a nil store are no-ops.
+func (s *Store) UpdateSize(key Key, size int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	evicted := s.mem.resize(key.Hash(), size)
+	bytes, entries := s.mem.bytes(), s.mem.len()
+	s.mu.Unlock()
+	add(s.evictions, uint64(evicted))
+	if s.memBytes != nil {
+		s.memBytes.Set(float64(bytes))
+		s.memEntries.Set(float64(entries))
+	}
+}
+
 // Options tunes one Do call.
 type Options[T any] struct {
 	// Persist round-trips the value through the disk tier (when one is

@@ -7,7 +7,9 @@
 # BENCH_campaign.json (or $2), the daemon serving benchmarks
 # (BenchmarkDcrmdHotServe cold/warm/dup) into BENCH_serve.json (or $3),
 # and the campaign-fabric scaling benchmarks (BenchmarkFleetCampaign at 1
-# and 3 workers) into BENCH_fleet.json (or $4).
+# and 3 workers) into BENCH_fleet.json (or $4), and the checkpoint
+# artifact cold-start benchmarks (BenchmarkColdStart cold/prewarmed/
+# secondprocess) into BENCH_coldstart.json (or $5).
 # The campaign file also carries frozen historical measurements: the
 # pre-fork clone-path numbers under the *PreFork names and the pre-batch
 # one-run-per-replay fork-path numbers under the *PreBatch names, so
@@ -17,7 +19,7 @@
 # (warn-only).
 #
 #   scripts/bench.sh                  # refresh all baselines (1s rounds)
-#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json fleet.json
+#   BENCHTIME=100x scripts/bench.sh timing.json campaign.json serve.json fleet.json coldstart.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,7 @@ OUT="${1:-BENCH_timing.json}"
 CAMPAIGN_OUT="${2:-BENCH_campaign.json}"
 SERVE_OUT="${3:-BENCH_serve.json}"
 FLEET_OUT="${4:-BENCH_fleet.json}"
+COLD_OUT="${5:-BENCH_coldstart.json}"
 
 # Frozen historical baselines, marked "frozen": true — kept as data,
 # never re-run, because the code they measured is gone;
@@ -114,3 +117,15 @@ raw=$(go test ./cmd/dcrmd -run '^$' \
 echo "$raw" >&2
 render_json "$raw" "$BENCHTIME" > "$FLEET_OUT"
 echo "wrote $FLEET_OUT" >&2
+
+# Checkpoint artifact cold start: one op warms a four-checkpoint campaign
+# session's full artifact set — serially (cold), fanned over the worker
+# pool (prewarmed), and from the disk tier in a fresh process
+# (secondprocess). The prewarmed/cold ratio reflects min(units, cores);
+# the compare script gates it only on multi-core hosts.
+raw=$(go test ./internal/experiments -run '^$' \
+  -bench 'BenchmarkColdStart' \
+  -benchmem -benchtime "$BENCHTIME")
+echo "$raw" >&2
+render_json "$raw" "$BENCHTIME" > "$COLD_OUT"
+echo "wrote $COLD_OUT" >&2
